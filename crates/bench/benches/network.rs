@@ -1,0 +1,50 @@
+//! Whole-simulator throughput: events per second pushing real traffic
+//! through the fat tree — the number that decides how long the paper
+//! preset takes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ibsim::prelude::*;
+use ibsim_net::Network;
+
+/// Run uniform all-to-all on the given fat tree for `sim_us` and report
+/// how many events that took.
+fn run_uniform(spec: FatTreeSpec, sim_us: u64, cc: bool) -> u64 {
+    let topo = spec.build();
+    let cfg = ibsim_bench::bench_cfg(cc);
+    let mut net = Network::new(&topo, cfg);
+    for n in 0..topo.num_hcas as u32 {
+        net.set_classes(
+            n,
+            vec![TrafficClass::new(100, DestPattern::UniformExceptSelf, 4096)],
+        );
+    }
+    net.run_until(Time::from_us(sim_us));
+    net.events_processed()
+}
+
+fn network_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_throughput");
+    g.sample_size(10);
+    for (name, spec, sim_us) in [
+        ("fat8_uniform_200us", FatTreeSpec::TEST_8, 200u64),
+        ("fat72_uniform_100us", FatTreeSpec::QUICK_72, 100),
+    ] {
+        let events = run_uniform(spec, sim_us, true);
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(name, |b| {
+            b.iter(|| run_uniform(spec, sim_us, true));
+        });
+    }
+    // CC on vs off at identical workload: the CC overhead per event.
+    for cc in [false, true] {
+        let events = run_uniform(FatTreeSpec::TEST_8, 200, cc);
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(format!("fat8_cc_{}", if cc { "on" } else { "off" }), |b| {
+            b.iter(|| run_uniform(FatTreeSpec::TEST_8, 200, cc));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, network_benches);
+criterion_main!(benches);

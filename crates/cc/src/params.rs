@@ -1,0 +1,198 @@
+//! Congestion-control parameters.
+//!
+//! These mirror the tunables of the InfiniBand Architecture Specification
+//! release 1.2.1 (congestion control was added in release 1.2, Annex A10)
+//! as described in §II of the paper. [`CcParams::paper_table1`] returns
+//! the exact values of the paper's Table I, used for every experiment.
+
+use crate::cct::{Cct, CctShape};
+use serde::{Deserialize, Serialize};
+
+/// Where the source-side throttle applies.
+///
+/// The paper only evaluates [`CcMode::QueuePair`]; [`CcMode::ServiceLevel`]
+/// is implemented because the paper discusses why it hurts fairness — an
+/// ablation experiment demonstrates exactly that.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum CcMode {
+    /// Throttle each (source, destination) flow independently.
+    #[default]
+    QueuePair,
+    /// Throttle every flow of the service level together: one BECN slows
+    /// *all* traffic of that SL at the HCA, victims included.
+    ServiceLevel,
+}
+
+/// The full IB CC parameter set (switch- and CA-side).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CcParams {
+    // ---- switch side -------------------------------------------------
+    /// 4-bit congestion threshold weight, 0..=15. 0 disables marking; 1 is
+    /// the highest (most lenient) threshold, 15 the lowest (most
+    /// aggressive). Mapped to a buffer-fill fraction of `(16 - w)/16`.
+    pub threshold: u8,
+    /// Minimum packet payload size (bytes) eligible for FECN marking.
+    pub packet_size: u32,
+    /// Mean number of eligible packets sent between two FECN markings.
+    /// 0 marks every eligible packet.
+    pub marking_rate: u16,
+    // ---- channel adapter side ----------------------------------------
+    /// Added to a flow's CCT index on every BECN.
+    pub ccti_increase: u16,
+    /// Upper bound of the CCT index.
+    pub ccti_limit: u16,
+    /// Lower bound the recovery timer decrements the CCT index to.
+    pub ccti_min: u16,
+    /// Recovery timer in units of 1.024 µs; each expiry decrements every
+    /// associated flow's CCT index by one.
+    pub ccti_timer: u16,
+    /// Injection-rate-delay table indexed by CCTI.
+    pub cct: Cct,
+    /// QP-level or SL-level throttling.
+    pub mode: CcMode,
+}
+
+impl CcParams {
+    /// The parameter values of the paper's Table I:
+    /// `CCTI_Increase=1, CCTI_Limit=127, CCTI_Min=0, CCTI_Timer=150,
+    /// Threshold=15, Marking_Rate=0, Packet_Size=0`, with the CCT
+    /// populated linearly over the full 128-entry range ("the CCT values
+    /// have been increased to reflect the larger number of possible
+    /// contributors" — §IV).
+    pub fn paper_table1() -> Self {
+        CcParams {
+            threshold: 15,
+            packet_size: 0,
+            marking_rate: 0,
+            ccti_increase: 1,
+            ccti_limit: 127,
+            ccti_min: 0,
+            ccti_timer: 150,
+            cct: Cct::populate(128, CctShape::Linear { step: 1 }),
+            mode: CcMode::QueuePair,
+        }
+    }
+
+    /// Recovery-timer period in picoseconds (spec unit: 1.024 µs).
+    pub fn timer_period_ps(&self) -> u64 {
+        self.ccti_timer as u64 * 1_024_000
+    }
+
+    /// Buffer-fill fraction above which a Port VL may enter the
+    /// congestion state, as (numerator, denominator). `None` when the
+    /// threshold weight is 0 (marking disabled).
+    pub fn threshold_fraction(&self) -> Option<(u32, u32)> {
+        match self.threshold {
+            0 => None,
+            w => Some(((16 - w.min(15)) as u32, 16)),
+        }
+    }
+
+    /// Threshold in bytes for a port buffer pool of `capacity_bytes`.
+    pub fn threshold_bytes(&self, capacity_bytes: u64) -> Option<u64> {
+        self.threshold_fraction()
+            .map(|(num, den)| (capacity_bytes * num as u64 / den as u64).max(1))
+    }
+
+    /// Validate invariants; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threshold > 15 {
+            return Err(format!("threshold {} > 15", self.threshold));
+        }
+        if self.ccti_limit as usize >= self.cct.len() {
+            return Err(format!(
+                "ccti_limit {} out of range for CCT of length {}",
+                self.ccti_limit,
+                self.cct.len()
+            ));
+        }
+        if self.ccti_min > self.ccti_limit {
+            return Err(format!(
+                "ccti_min {} > ccti_limit {}",
+                self.ccti_min, self.ccti_limit
+            ));
+        }
+        if self.ccti_timer == 0 {
+            return Err("ccti_timer must be > 0 (0 would spin the recovery loop)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CcParams {
+    fn default() -> Self {
+        Self::paper_table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let p = CcParams::paper_table1();
+        assert_eq!(p.ccti_increase, 1);
+        assert_eq!(p.ccti_limit, 127);
+        assert_eq!(p.ccti_min, 0);
+        assert_eq!(p.ccti_timer, 150);
+        assert_eq!(p.threshold, 15);
+        assert_eq!(p.marking_rate, 0);
+        assert_eq!(p.packet_size, 0);
+        assert_eq!(p.mode, CcMode::QueuePair);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn timer_period_spec_units() {
+        // 150 * 1.024 us = 153.6 us.
+        let p = CcParams::paper_table1();
+        assert_eq!(p.timer_period_ps(), 153_600_000);
+    }
+
+    #[test]
+    fn threshold_mapping_is_uniformly_decreasing() {
+        let mut p = CcParams::paper_table1();
+        p.threshold = 0;
+        assert_eq!(p.threshold_fraction(), None);
+        let mut last = u64::MAX;
+        for w in 1..=15u8 {
+            p.threshold = w;
+            let b = p.threshold_bytes(16_384).unwrap();
+            assert!(b < last, "threshold must decrease with weight: w={w} b={b}");
+            last = b;
+        }
+        // w=15 -> 1/16 of the pool; w=1 -> 15/16 of the pool.
+        p.threshold = 15;
+        assert_eq!(p.threshold_bytes(16_384), Some(1_024));
+        p.threshold = 1;
+        assert_eq!(p.threshold_bytes(16_384), Some(15_360));
+    }
+
+    #[test]
+    fn threshold_bytes_never_zero() {
+        let p = CcParams::paper_table1();
+        assert_eq!(p.threshold_bytes(4), Some(1));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut p = CcParams::paper_table1();
+        p.ccti_limit = 10_000;
+        assert!(p.validate().is_err());
+
+        let mut p = CcParams::paper_table1();
+        p.ccti_min = 200;
+        p.ccti_limit = 100;
+        assert!(p.validate().is_err());
+
+        let mut p = CcParams::paper_table1();
+        p.ccti_timer = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = CcParams::paper_table1();
+        p.threshold = 16;
+        assert!(p.validate().is_err());
+    }
+}

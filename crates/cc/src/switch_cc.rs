@@ -1,0 +1,253 @@
+//! Switch-side congestion control: detection and FECN marking.
+//!
+//! A switch monitors, per output port and virtual lane ("Port VL"), the
+//! amount of traffic queued toward that output. When the occupancy
+//! crosses the configured threshold **and** the Port VL is the *root* of
+//! the congestion — it has downstream credits available, so it is the
+//! contested resource rather than a backpressured victim — it enters the
+//! congestion state and starts FECN-marking the packets it forwards.
+//!
+//! Ports whose `Victim_Mask` is set (typically ports facing HCAs, which
+//! never detect congestion themselves) enter the congestion state on a
+//! threshold crossing regardless of credit availability.
+
+use crate::params::CcParams;
+
+/// Detection and marking state for one (output port, VL) pair.
+#[derive(Clone, Debug)]
+pub struct PortVlCongestion {
+    /// Bytes currently queued toward this output Port VL.
+    queued_bytes: u64,
+    /// Occupancy at or above which the Port VL may enter the congestion
+    /// state. `None` disables detection (threshold weight 0).
+    threshold_bytes: Option<u64>,
+    /// Victim_Mask: enter the congestion state even without credits.
+    victim_mask: bool,
+    in_congestion: bool,
+    /// Eligible packets to skip before the next marking.
+    skip_before_mark: u16,
+    // ---- statistics ----------------------------------------------------
+    marked_packets: u64,
+    congestion_entries: u64,
+}
+
+impl PortVlCongestion {
+    /// `buffer_capacity_bytes` is the buffer pool the threshold weight is
+    /// taken as a fraction of.
+    pub fn new(params: &CcParams, buffer_capacity_bytes: u64, victim_mask: bool) -> Self {
+        PortVlCongestion {
+            queued_bytes: 0,
+            threshold_bytes: params.threshold_bytes(buffer_capacity_bytes),
+            victim_mask,
+            in_congestion: false,
+            skip_before_mark: 0,
+            marked_packets: 0,
+            congestion_entries: 0,
+        }
+    }
+
+    /// A detector that never marks (CC disabled).
+    pub fn disabled() -> Self {
+        PortVlCongestion {
+            queued_bytes: 0,
+            threshold_bytes: None,
+            victim_mask: false,
+            in_congestion: false,
+            skip_before_mark: 0,
+            marked_packets: 0,
+            congestion_entries: 0,
+        }
+    }
+
+    #[inline]
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+    #[inline]
+    pub fn in_congestion(&self) -> bool {
+        self.in_congestion
+    }
+    pub fn marked_packets(&self) -> u64 {
+        self.marked_packets
+    }
+    pub fn congestion_entries(&self) -> u64 {
+        self.congestion_entries
+    }
+    pub fn victim_mask(&self) -> bool {
+        self.victim_mask
+    }
+
+    /// Record `bytes` newly queued toward this output Port VL and
+    /// re-evaluate the congestion state. `has_credits` tells whether the
+    /// output currently holds downstream credits (root-of-congestion
+    /// test).
+    #[inline]
+    pub fn on_enqueue(&mut self, bytes: u64, has_credits: bool) {
+        self.queued_bytes += bytes;
+        self.reevaluate(has_credits);
+    }
+
+    /// Record `bytes` leaving toward the output and re-evaluate.
+    #[inline]
+    pub fn on_dequeue(&mut self, bytes: u64, has_credits: bool) {
+        debug_assert!(self.queued_bytes >= bytes, "dequeue below zero");
+        self.queued_bytes -= bytes;
+        self.reevaluate(has_credits);
+    }
+
+    /// Credit availability changed without a queue change.
+    #[inline]
+    pub fn on_credit_change(&mut self, has_credits: bool) {
+        self.reevaluate(has_credits);
+    }
+
+    #[inline]
+    fn reevaluate(&mut self, has_credits: bool) {
+        let Some(th) = self.threshold_bytes else {
+            self.in_congestion = false;
+            return;
+        };
+        if self.queued_bytes >= th {
+            // Threshold crossed: enter only as a root (or masked victim).
+            if (has_credits || self.victim_mask) && !self.in_congestion {
+                self.in_congestion = true;
+                self.congestion_entries += 1;
+            }
+        } else if self.in_congestion {
+            self.in_congestion = false;
+        }
+    }
+
+    /// Decide whether the packet being forwarded now gets its FECN bit
+    /// set. Applies the `Packet_Size` eligibility filter and the
+    /// `Marking_Rate` spacing (mean eligible packets between marks;
+    /// implemented as deterministic periodic spacing).
+    #[inline]
+    pub fn mark_decision(&mut self, pkt_bytes: u32, params: &CcParams) -> bool {
+        if !self.in_congestion {
+            return false;
+        }
+        if pkt_bytes < params.packet_size {
+            return false;
+        }
+        if self.skip_before_mark > 0 {
+            self.skip_before_mark -= 1;
+            return false;
+        }
+        self.skip_before_mark = params.marking_rate;
+        self.marked_packets += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CcParams {
+        CcParams::paper_table1()
+    }
+
+    /// threshold 15 on a 16 KiB pool -> 1 KiB.
+    fn det() -> PortVlCongestion {
+        PortVlCongestion::new(&params(), 16 * 1024, false)
+    }
+
+    #[test]
+    fn enters_congestion_as_root_only() {
+        let mut d = det();
+        // Cross threshold without credits: victim, no congestion state.
+        d.on_enqueue(2048, false);
+        assert!(!d.in_congestion());
+        // Credits appear: now it is a root.
+        d.on_credit_change(true);
+        assert!(d.in_congestion());
+        assert_eq!(d.congestion_entries(), 1);
+    }
+
+    #[test]
+    fn victim_mask_ignores_credits() {
+        let mut d = PortVlCongestion::new(&params(), 16 * 1024, true);
+        d.on_enqueue(2048, false);
+        assert!(d.in_congestion());
+    }
+
+    #[test]
+    fn leaves_congestion_below_threshold() {
+        let mut d = det();
+        d.on_enqueue(2048, true);
+        assert!(d.in_congestion());
+        d.on_dequeue(1536, true);
+        assert!(!d.in_congestion(), "512 < 1024 threshold");
+        assert_eq!(d.queued_bytes(), 512);
+    }
+
+    #[test]
+    fn marks_every_packet_with_rate_zero() {
+        let mut d = det();
+        d.on_enqueue(4096, true);
+        let p = params(); // marking_rate = 0, packet_size = 0
+        for _ in 0..5 {
+            assert!(d.mark_decision(2048, &p));
+        }
+        assert_eq!(d.marked_packets(), 5);
+    }
+
+    #[test]
+    fn marking_rate_spaces_marks() {
+        let mut d = det();
+        d.on_enqueue(4096, true);
+        let mut p = params();
+        p.marking_rate = 3; // mean 3 eligible packets between marks
+        let marks: Vec<bool> = (0..8).map(|_| d.mark_decision(2048, &p)).collect();
+        assert_eq!(
+            marks,
+            [true, false, false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn packet_size_filters_small_packets() {
+        let mut d = det();
+        d.on_enqueue(4096, true);
+        let mut p = params();
+        p.packet_size = 256;
+        assert!(!d.mark_decision(64, &p), "64B CNP-sized packet not marked");
+        assert!(d.mark_decision(2048, &p));
+    }
+
+    #[test]
+    fn no_marking_outside_congestion_state() {
+        let mut d = det();
+        let p = params();
+        assert!(!d.mark_decision(2048, &p));
+        d.on_enqueue(512, true); // below threshold
+        assert!(!d.mark_decision(2048, &p));
+    }
+
+    #[test]
+    fn disabled_detector_never_congests() {
+        let mut d = PortVlCongestion::disabled();
+        d.on_enqueue(1 << 30, true);
+        assert!(!d.in_congestion());
+        assert!(!d.mark_decision(2048, &params()));
+    }
+
+    #[test]
+    fn threshold_weight_zero_disables() {
+        let mut p = params();
+        p.threshold = 0;
+        let mut d = PortVlCongestion::new(&p, 16 * 1024, true);
+        d.on_enqueue(1 << 20, true);
+        assert!(!d.in_congestion());
+    }
+
+    #[test]
+    fn reentry_counts() {
+        let mut d = det();
+        d.on_enqueue(2048, true);
+        d.on_dequeue(2048, true);
+        d.on_enqueue(2048, true);
+        assert_eq!(d.congestion_entries(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the congestion-control state machines.
+
+use ibsim_cc::{CcParams, Cct, CctShape, HcaCc, PortVlCongestion};
+use ibsim_engine::time::{Time, TimeDelta};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Linear CCTs are monotone for every step, and clamping holds.
+    #[test]
+    fn cct_linear_monotone(len in 1usize..300, step in 0u32..1000, idx: u16) {
+        let t = Cct::populate(len, CctShape::Linear { step });
+        prop_assert!(t.is_monotone());
+        let m = t.multiplier(idx);
+        prop_assert_eq!(m, (idx as usize).min(len - 1) as u32 * step);
+    }
+
+    /// Exponential CCTs are monotone and respect their cap.
+    #[test]
+    fn cct_exponential_monotone(len in 1usize..128, base in 1.0f64..3.0, max in 1u32..100_000) {
+        let t = Cct::populate(len, CctShape::Exponential { base, max });
+        prop_assert!(t.is_monotone());
+        prop_assert!(t.entries().iter().all(|&e| e <= max));
+    }
+
+    /// IRD delay scales exactly linearly with the packet time.
+    #[test]
+    fn ird_scales_with_packet(ccti in 0u16..128, pkt_ns in 0u64..100_000) {
+        let t = Cct::populate(128, CctShape::Linear { step: 1 });
+        let one = t.ird_delay(ccti, TimeDelta::from_ns(pkt_ns));
+        let two = t.ird_delay(ccti, TimeDelta::from_ns(pkt_ns) * 2);
+        prop_assert_eq!(one * 2, two);
+    }
+
+    /// The CCTI stays within [ccti_min, ccti_limit] under any
+    /// interleaving of BECNs and timer ticks, and the throttled-flow
+    /// counter matches reality.
+    #[test]
+    fn ccti_bounded_under_any_schedule(
+        increase in 1u16..8,
+        limit in 1u16..127,
+        min_ in 0u16..4,
+        ops in prop::collection::vec((0u32..8, prop::bool::ANY), 1..300),
+    ) {
+        let min = min_.min(limit);
+        let mut params = CcParams::paper_table1();
+        params.ccti_increase = increase;
+        params.ccti_limit = limit;
+        params.ccti_min = min;
+        prop_assert!(params.validate().is_ok());
+        let mut cc = HcaCc::new(Arc::new(params));
+        let mut keys = std::collections::HashSet::new();
+        for (key, is_becn) in ops {
+            if is_becn {
+                cc.on_becn(key);
+                keys.insert(key);
+            } else {
+                cc.on_timer();
+            }
+            for &k in &keys {
+                let c = cc.ccti(k);
+                prop_assert!(c <= limit, "ccti {c} > limit {limit}");
+            }
+            let actual_throttled = keys.iter().filter(|&&k| cc.ccti(k) > min).count();
+            prop_assert_eq!(cc.throttled_flows(), actual_throttled);
+        }
+    }
+
+    /// Enough timer ticks always fully recover every flow.
+    #[test]
+    fn timer_always_recovers(becns in prop::collection::vec(0u32..5, 1..100)) {
+        let mut cc = HcaCc::new(Arc::new(CcParams::paper_table1()));
+        for k in becns {
+            cc.on_becn(k);
+        }
+        for _ in 0..128 {
+            cc.on_timer();
+        }
+        prop_assert_eq!(cc.throttled_flows(), 0);
+        prop_assert_eq!(cc.max_ccti(), 0);
+    }
+
+    /// Detector state is always consistent with its own queue counter,
+    /// and the queue counter never underflows for balanced traffic.
+    #[test]
+    fn detector_queue_consistency(
+        ops in prop::collection::vec((1u64..5000, prop::bool::ANY, prop::bool::ANY), 1..200)
+    ) {
+        let params = CcParams::paper_table1();
+        let mut d = PortVlCongestion::new(&params, 64 * 1024, false);
+        let mut fifo: std::collections::VecDeque<u64> = Default::default();
+        for (bytes, enqueue, credits) in ops {
+            if enqueue {
+                d.on_enqueue(bytes, credits);
+                fifo.push_back(bytes);
+            } else if let Some(b) = fifo.pop_front() {
+                d.on_dequeue(b, credits);
+            }
+            let expect: u64 = fifo.iter().sum();
+            prop_assert_eq!(d.queued_bytes(), expect);
+            // Below threshold we can never be in the congestion state.
+            if expect < params.threshold_bytes(64 * 1024).unwrap() {
+                prop_assert!(!d.in_congestion());
+            }
+        }
+    }
+
+    /// Marking decisions never fire outside the congestion state, and
+    /// with Marking_Rate = r exactly one in (r+1) eligible packets is
+    /// marked while saturated.
+    #[test]
+    fn marking_rate_exact(rate in 0u16..32, n in 1usize..200) {
+        let mut params = CcParams::paper_table1();
+        params.marking_rate = rate;
+        let mut d = PortVlCongestion::new(&params, 1024, true);
+        d.on_enqueue(1 << 20, false); // victim-masked: congested
+        let marks = (0..n).filter(|_| d.mark_decision(2048, &params)).count();
+        let period = rate as usize + 1;
+        prop_assert_eq!(marks, n.div_ceil(period));
+    }
+
+    /// The threshold mapping is monotone in the weight for any capacity.
+    #[test]
+    fn threshold_monotone_in_weight(capacity in 16u64..10_000_000) {
+        let mut params = CcParams::paper_table1();
+        let mut last = u64::MAX;
+        for w in 1..=15 {
+            params.threshold = w;
+            let th = params.threshold_bytes(capacity).unwrap();
+            prop_assert!(th <= last);
+            prop_assert!(th >= 1);
+            last = th;
+        }
+    }
+
+    /// next_allowed gates reflect the current CCTI at send time.
+    #[test]
+    fn gate_matches_ccti(becns in 0u16..200, pkt_ns in 1u64..10_000) {
+        let params = CcParams::paper_table1();
+        let limit = params.ccti_limit;
+        let mut cc = HcaCc::new(Arc::new(params));
+        for _ in 0..becns {
+            cc.on_becn(1);
+        }
+        let expect_ccti = becns.min(limit);
+        prop_assert_eq!(cc.ccti(1), expect_ccti);
+        let t0 = Time::from_ns(1000);
+        cc.note_packet_sent(1, t0, TimeDelta::from_ns(pkt_ns));
+        let gate = cc.next_allowed(1);
+        if expect_ccti == 0 {
+            // Unthrottled flows keep no gate state; any gate at or
+            // before the send time is behaviourally "no delay".
+            prop_assert!(gate <= t0);
+        } else {
+            prop_assert_eq!(
+                gate,
+                t0 + TimeDelta::from_ns(pkt_ns).saturating_mul(expect_ccti as u64)
+            );
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The discrete-event queue.
+//!
+//! A binary-heap priority queue ordered by `(time, sequence)`. The
+//! monotone sequence number makes simultaneous events pop in insertion
+//! order, which is what makes whole-simulation determinism possible: two
+//! runs with the same configuration schedule the same events in the same
+//! order and therefore pop them in the same order.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Time,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            seq: 0,
+            now: Time::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Panics in debug builds if `at` lies in the past; scheduling *at*
+    /// the current instant is allowed and pops after everything already
+    /// queued for that instant.
+    #[inline]
+    pub fn schedule(&mut self, at: Time, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedule `event` `delta` after now.
+    #[inline]
+    pub fn schedule_in(&mut self, delta: crate::time::TimeDelta, event: E) {
+        let at = self.now + delta;
+        self.schedule(at, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "time went backwards");
+        self.now = e.at;
+        self.processed += 1;
+        Some((e.at, e.event))
+    }
+
+    /// Pop the next event only if it is due at or before `limit`.
+    /// The clock never advances beyond `limit` through this method.
+    #[inline]
+    pub fn pop_until(&mut self, limit: Time) -> Option<(Time, E)> {
+        match self.peek_time() {
+            Some(t) if t <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drop all pending events and reset the clock (for reuse in sweeps).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.now = Time::ZERO;
+        self.processed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(30), "c");
+        q.schedule(Time(10), "a");
+        q.schedule(Time(20), "b");
+        assert_eq!(q.pop(), Some((Time(10), "a")));
+        assert_eq!(q.pop(), Some((Time(20), "b")));
+        assert_eq!(q.pop(), Some((Time(30), "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Time(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Time::ZERO);
+        q.schedule(Time(100), ());
+        q.pop();
+        assert_eq!(q.now(), Time(100));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(10), 0);
+        q.pop();
+        q.schedule_in(TimeDelta(5), 1);
+        assert_eq!(q.peek_time(), Some(Time(15)));
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(10), "a");
+        q.schedule(Time(20), "b");
+        assert_eq!(q.pop_until(Time(15)), Some((Time(10), "a")));
+        assert_eq!(q.pop_until(Time(15)), None);
+        assert_eq!(q.pending(), 1);
+        // The clock did not jump past the limit.
+        assert_eq!(q.now(), Time(10));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(10), ());
+        q.pop();
+        q.schedule(Time(5), ());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(10), 1);
+        q.pop();
+        q.schedule(Time(20), 2);
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.processed(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(1), 1u32);
+        q.schedule(Time(5), 5);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(Time(3), 3);
+        q.schedule(Time(4), 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 5);
+    }
+}

@@ -1,0 +1,388 @@
+//! Measurement primitives.
+//!
+//! Simulations measure three kinds of quantities:
+//!
+//! * event counts and byte counts over a *measurement window* (warmup
+//!   excluded) — [`RateMeter`];
+//! * time-weighted averages of instantaneous state such as buffer
+//!   occupancy — [`TimeWeightedGauge`];
+//! * distributions of per-packet quantities such as end-to-end latency —
+//!   [`Histogram`] (log-spaced bins).
+
+use crate::time::{rate_gbps, Time, TimeDelta};
+
+/// Counts bytes (and packets) delivered inside a measurement window.
+#[derive(Clone, Debug, Default)]
+pub struct RateMeter {
+    window_start: Option<Time>,
+    window_end: Option<Time>,
+    bytes: u64,
+    packets: u64,
+}
+
+impl RateMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open the measurement window at `t`; samples before it are ignored.
+    pub fn start_window(&mut self, t: Time) {
+        self.window_start = Some(t);
+        self.window_end = None;
+        self.bytes = 0;
+        self.packets = 0;
+    }
+
+    /// Close the window at `t`; samples after it are ignored.
+    pub fn end_window(&mut self, t: Time) {
+        self.window_end = Some(t);
+    }
+
+    #[inline]
+    fn in_window(&self, t: Time) -> bool {
+        match self.window_start {
+            None => false,
+            Some(s) => t >= s && self.window_end.is_none_or(|e| t < e),
+        }
+    }
+
+    /// Is `t` inside the measurement window?
+    #[inline]
+    pub fn is_open(&self, t: Time) -> bool {
+        self.in_window(t)
+    }
+
+    /// Record a delivery of `bytes` at time `t`.
+    #[inline]
+    pub fn record(&mut self, t: Time, bytes: u64) {
+        if self.in_window(t) {
+            self.bytes += bytes;
+            self.packets += 1;
+        }
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Elapsed window at time `now` (or full window if already closed).
+    pub fn window(&self, now: Time) -> TimeDelta {
+        match self.window_start {
+            None => TimeDelta::ZERO,
+            Some(s) => self.window_end.unwrap_or(now).saturating_since(s),
+        }
+    }
+
+    /// Average rate over the window in Gbit/s, evaluated at `now`.
+    pub fn gbps(&self, now: Time) -> f64 {
+        rate_gbps(self.bytes, self.window(now))
+    }
+}
+
+/// Time-weighted average of a piecewise-constant quantity (e.g. queue
+/// depth in bytes). Call [`set`](Self::set) whenever the value changes.
+#[derive(Clone, Debug)]
+pub struct TimeWeightedGauge {
+    value: u64,
+    last_change: Time,
+    weighted_sum: u128,
+    since: Time,
+    max: u64,
+}
+
+impl Default for TimeWeightedGauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeightedGauge {
+    pub fn new() -> Self {
+        TimeWeightedGauge {
+            value: 0,
+            last_change: Time::ZERO,
+            weighted_sum: 0,
+            since: Time::ZERO,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn accumulate(&mut self, now: Time) {
+        let dt = now.saturating_since(self.last_change).as_ps() as u128;
+        self.weighted_sum += dt * self.value as u128;
+        self.last_change = now;
+    }
+
+    /// Record that the value becomes `v` at time `now`.
+    #[inline]
+    pub fn set(&mut self, now: Time, v: u64) {
+        self.accumulate(now);
+        self.value = v;
+        self.max = self.max.max(v);
+    }
+
+    #[inline]
+    pub fn add(&mut self, now: Time, delta: i64) {
+        let v = (self.value as i64 + delta).max(0) as u64;
+        self.set(now, v);
+    }
+
+    pub fn current(&self) -> u64 {
+        self.value
+    }
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Reset averaging at `now` (e.g. at warmup end), keeping the value.
+    pub fn reset_window(&mut self, now: Time) {
+        self.weighted_sum = 0;
+        self.since = now;
+        self.last_change = now;
+        self.max = self.value;
+    }
+
+    /// Time-weighted mean over the averaging window ending at `now`.
+    pub fn mean(&self, now: Time) -> f64 {
+        let dt_tail = now.saturating_since(self.last_change).as_ps() as u128;
+        let total = self.weighted_sum + dt_tail * self.value as u128;
+        let span = now.saturating_since(self.since).as_ps() as u128;
+        if span == 0 {
+            self.value as f64
+        } else {
+            total as f64 / span as f64
+        }
+    }
+}
+
+/// Log₂-spaced histogram of u64 samples (e.g. latency in picoseconds).
+///
+/// Bin `i` covers `[2^i, 2^(i+1))`; bin 0 also absorbs the value 0.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            bins: vec![0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let bin = 63u32.saturating_sub(v.max(1).leading_zeros()) as usize;
+        self.bins[bin] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile using the bin upper bounds (q in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of this bin, clamped to the observed max.
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Some(hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// A sampled time series (e.g. throughput per millisecond) for plots.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    pub points: Vec<(Time, f64)>,
+}
+
+impl Series {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn push(&mut self, t: Time, v: f64) {
+        self.points.push((t, v));
+    }
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_meter_ignores_outside_window() {
+        let mut m = RateMeter::new();
+        m.record(Time(10), 100); // before window opens: ignored
+        m.start_window(Time(100));
+        m.record(Time(50), 100); // still before start: ignored
+        m.record(Time(100), 200);
+        m.record(Time(150), 300);
+        m.end_window(Time(200));
+        m.record(Time(250), 400); // after end: ignored
+        assert_eq!(m.bytes(), 500);
+        assert_eq!(m.packets(), 2);
+        assert_eq!(m.window(Time(999)), TimeDelta(100));
+    }
+
+    #[test]
+    fn rate_meter_gbps() {
+        let mut m = RateMeter::new();
+        m.start_window(Time::ZERO);
+        // 125 bytes over 1 ns = 1000 bits / 1e-9 s = 1000 Gbit/s.
+        m.record(Time(0), 125);
+        let g = m.gbps(Time(1000));
+        assert!((g - 1000.0).abs() < 1e-9, "{g}");
+    }
+
+    #[test]
+    fn gauge_time_weighted_mean() {
+        let mut g = TimeWeightedGauge::new();
+        g.set(Time(0), 10); // 10 during [0, 100)
+        g.set(Time(100), 30); // 30 during [100, 200)
+        let mean = g.mean(Time(200));
+        assert!((mean - 20.0).abs() < 1e-9, "{mean}");
+        assert_eq!(g.max(), 30);
+        assert_eq!(g.current(), 30);
+    }
+
+    #[test]
+    fn gauge_reset_window() {
+        let mut g = TimeWeightedGauge::new();
+        g.set(Time(0), 100);
+        g.reset_window(Time(1000));
+        g.set(Time(1500), 0);
+        // value 100 for [1000,1500), 0 for [1500,2000) => mean 50.
+        let mean = g.mean(Time(2000));
+        assert!((mean - 50.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn gauge_add_saturates_at_zero() {
+        let mut g = TimeWeightedGauge::new();
+        g.add(Time(0), 5);
+        g.add(Time(10), -100);
+        assert_eq!(g.current(), 0);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 1000, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - (1010.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q50 <= q99);
+        assert!((256..=1023).contains(&q50), "{q50}");
+        assert_eq!(h.quantile(1.0), Some(1024));
+        assert!(Histogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(500));
+    }
+
+    #[test]
+    fn series_mean() {
+        let mut s = Series::new();
+        s.push(Time(0), 1.0);
+        s.push(Time(1), 3.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(Series::new().mean(), 0.0);
+    }
+}

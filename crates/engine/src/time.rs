@@ -1,0 +1,375 @@
+//! Simulation time and bandwidth arithmetic.
+//!
+//! All simulation time is kept in **picoseconds** as a `u64`. At that
+//! resolution the clock wraps after roughly 213 days of simulated time,
+//! far beyond any experiment in this suite, while still representing the
+//! serialisation time of a single byte on a 20 Gbit/s link (400 ps)
+//! exactly. Exactness matters: the congestion-control feedback loop is
+//! sensitive to systematic rounding drift in packet spacing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, in picoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TimeDelta(pub u64);
+
+pub const PS_PER_NS: u64 = 1_000;
+pub const PS_PER_US: u64 = 1_000_000;
+pub const PS_PER_MS: u64 = 1_000_000_000;
+pub const PS_PER_S: u64 = 1_000_000_000_000;
+
+impl Time {
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinitely far away"
+    /// sentinel for timers that are currently disabled.
+    pub const MAX: Time = Time(u64::MAX);
+
+    #[inline]
+    pub fn from_ns(ns: u64) -> Self {
+        Time(ns * PS_PER_NS)
+    }
+    #[inline]
+    pub fn from_us(us: u64) -> Self {
+        Time(us * PS_PER_US)
+    }
+    #[inline]
+    pub fn from_ms(ms: u64) -> Self {
+        Time(ms * PS_PER_MS)
+    }
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        Time((s * PS_PER_S as f64).round() as u64)
+    }
+
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is
+    /// actually later (callers comparing measurement windows rely on this).
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl TimeDelta {
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    #[inline]
+    pub fn from_ns(ns: u64) -> Self {
+        TimeDelta(ns * PS_PER_NS)
+    }
+    #[inline]
+    pub fn from_us(us: u64) -> Self {
+        TimeDelta(us * PS_PER_US)
+    }
+    #[inline]
+    pub fn from_ms(ms: u64) -> Self {
+        TimeDelta(ms * PS_PER_MS)
+    }
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        TimeDelta((s * PS_PER_S as f64).round() as u64)
+    }
+
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scale the delta by an integer factor (used for IRD multiples).
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> TimeDelta {
+        TimeDelta(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<TimeDelta> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+impl AddAssign<TimeDelta> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub<TimeDelta> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: TimeDelta) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+impl Sub<Time> for Time {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: Time) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+impl AddAssign for TimeDelta {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+impl SubAssign for TimeDelta {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<u64> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn mul(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+impl Div<u64> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn div(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+impl Sum for TimeDelta {
+    fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> TimeDelta {
+        TimeDelta(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= PS_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        }
+    }
+}
+impl fmt::Debug for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+/// A link or injection bandwidth, stored exactly as bits per second.
+///
+/// Conversion to serialisation delay is done in 128-bit arithmetic so
+/// that common rates (multiples of 1 Gbit/s) map to exact picosecond
+/// counts for power-of-two payload sizes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bandwidth {
+    bits_per_sec: u64,
+}
+
+impl Bandwidth {
+    #[inline]
+    pub const fn from_bps(bits_per_sec: u64) -> Self {
+        Bandwidth { bits_per_sec }
+    }
+    #[inline]
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Bandwidth {
+            bits_per_sec: gbps * 1_000_000_000,
+        }
+    }
+    /// Fractional Gbit/s constructor, e.g. 13.5 Gbit/s PCIe-limited HCAs.
+    #[inline]
+    pub fn from_gbps_f64(gbps: f64) -> Self {
+        Bandwidth {
+            bits_per_sec: (gbps * 1e9).round() as u64,
+        }
+    }
+
+    #[inline]
+    pub fn bits_per_sec(self) -> u64 {
+        self.bits_per_sec
+    }
+    #[inline]
+    pub fn as_gbps_f64(self) -> f64 {
+        self.bits_per_sec as f64 / 1e9
+    }
+
+    /// Is this a disabled/zero rate?
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.bits_per_sec == 0
+    }
+
+    /// Time to serialise `bytes` at this rate, rounded up to whole
+    /// picoseconds. Panics if the rate is zero.
+    #[inline]
+    pub fn tx_time(self, bytes: u64) -> TimeDelta {
+        debug_assert!(self.bits_per_sec > 0, "tx_time on zero bandwidth");
+        let bits = bytes as u128 * 8;
+        let ps = (bits * PS_PER_S as u128).div_ceil(self.bits_per_sec as u128);
+        TimeDelta(ps as u64)
+    }
+
+    /// Bytes transferable in `delta` at this rate (rounded down).
+    #[inline]
+    pub fn bytes_in(self, delta: TimeDelta) -> u64 {
+        let bits = self.bits_per_sec as u128 * delta.0 as u128 / PS_PER_S as u128;
+        (bits / 8) as u64
+    }
+}
+
+/// Compute an average rate from a byte count over a time span.
+pub fn rate_gbps(bytes: u64, over: TimeDelta) -> f64 {
+    if over.is_zero() {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / over.as_secs_f64() / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_is_exact_for_paper_rates() {
+        // 2048-byte MTU at 20 Gbit/s = 819.2 ns exactly.
+        let bw = Bandwidth::from_gbps(20);
+        assert_eq!(bw.tx_time(2048), TimeDelta(819_200));
+        // one 64-byte flow-control block at 20 Gbit/s = 25.6 ns.
+        assert_eq!(bw.tx_time(64), TimeDelta(25_600));
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        // 1 byte at 3 bit/s: 8/3 s -> ceil in ps.
+        let bw = Bandwidth::from_bps(3);
+        assert_eq!(
+            bw.tx_time(1).0,
+            (8u128 * PS_PER_S as u128).div_ceil(3) as u64
+        );
+    }
+
+    #[test]
+    fn bytes_in_inverts_tx_time() {
+        let bw = Bandwidth::from_gbps_f64(13.5);
+        for &n in &[64u64, 2048, 4096, 123_456] {
+            let t = bw.tx_time(n);
+            let back = bw.bytes_in(t);
+            // Rounding means we can land one byte short of n, never above
+            // n plus one block of slack.
+            assert!(
+                back >= n.saturating_sub(1) && back <= n + 1,
+                "{n} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn time_unit_constructors_agree() {
+        assert_eq!(Time::from_ns(1_000), Time::from_us(1));
+        assert_eq!(Time::from_us(1_000), Time::from_ms(1));
+        assert_eq!(Time::from_ms(1).as_ms_f64(), 1.0);
+        assert_eq!(Time::from_secs_f64(0.1), Time::from_ms(100));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_ns(100);
+        let d = TimeDelta::from_ns(50);
+        assert_eq!(t + d, Time::from_ns(150));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.saturating_since(Time::from_ns(150)), TimeDelta::ZERO);
+        assert_eq!(d * 3, TimeDelta::from_ns(150));
+        assert_eq!(d / 2, TimeDelta::from_ns(25));
+    }
+
+    #[test]
+    fn rate_gbps_roundtrip() {
+        // 13.5 Gbit/s for 1 ms = 13.5e9 * 1e-3 / 8 bytes.
+        let bytes = (13.5e9 * 1e-3 / 8.0) as u64;
+        let r = rate_gbps(bytes, TimeDelta::from_ms(1));
+        assert!((r - 13.5).abs() < 1e-3, "{r}");
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Time::from_ns(5)), "5.000ns");
+        assert_eq!(format!("{}", Time::from_us(5)), "5.000us");
+        assert_eq!(format!("{}", Time::from_ms(5)), "5.000ms");
+    }
+
+    #[test]
+    fn bandwidth_ordering_and_zero() {
+        assert!(Bandwidth::from_gbps(10) < Bandwidth::from_gbps(20));
+        assert!(Bandwidth::from_bps(0).is_zero());
+        assert!(!Bandwidth::from_gbps(1).is_zero());
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared plumbing for the experiment binaries: a tiny argument parser
+//! (no external CLI dependency) and common output helpers.
+
+pub mod spec;
+
+use ibsim::Preset;
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments plus positionals.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    pub positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` (skipping `argv[0]`). `--key value` and
+    /// `--key=value` are both accepted; bare `--key` stores "true".
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Build from an explicit argument sequence (tests, embedding).
+    // Not the std trait: this is a fallible-free constructor that also
+    // takes owned Strings; the name matches clap's convention.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some((k, v)) = key.split_once('=') {
+                    args.flags.insert(k.to_string(), v.to_string());
+                } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                    let v = it.next().unwrap();
+                    args.flags.insert(key.to_string(), v);
+                } else {
+                    args.flags.insert(key.to_string(), "true".to_string());
+                }
+            } else {
+                args.positionals.push(a);
+            }
+        }
+        args
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants a number, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+
+    pub fn get_u32(&self, key: &str, default: u32) -> u32 {
+        self.get_u64(key, default as u64) as u32
+    }
+
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.get(key).is_some_and(|v| v != "false")
+    }
+
+    /// The shared `--preset {quick|medium|paper}` flag.
+    pub fn preset(&self) -> Preset {
+        match self.get("preset") {
+            None => Preset::Quick,
+            Some(s) => Preset::parse(s)
+                .unwrap_or_else(|| panic!("unknown preset {s:?}; try quick|medium|paper")),
+        }
+    }
+
+    /// The shared `--seed N` flag.
+    pub fn seed(&self) -> u64 {
+        self.get_u64("seed", 0x1B51_C0DE)
+    }
+
+    /// The shared `--threads N` flag (0 = auto).
+    pub fn threads(&self) -> usize {
+        self.get_u64("threads", 0) as usize
+    }
+
+    /// The shared `--out DIR` flag.
+    pub fn out_dir(&self) -> std::path::PathBuf {
+        std::path::PathBuf::from(self.get("out").unwrap_or("results"))
+    }
+}
+
+/// Format a float with 3 decimals for tables.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+/// Format a float with 2 decimals for tables.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn key_value_styles() {
+        let a = parse(&["pos", "--x", "25", "--preset=paper", "--verbose"]);
+        assert_eq!(a.get("x"), Some("25"));
+        assert_eq!(a.get("preset"), Some("paper"));
+        assert!(a.get_flag("verbose"));
+        assert_eq!(a.positionals, vec!["pos"]);
+        assert_eq!(a.preset(), Preset::Paper);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.preset(), Preset::Quick);
+        assert_eq!(a.get_u64("nope", 7), 7);
+        assert!(!a.get_flag("missing"));
+        assert_eq!(a.out_dir(), std::path::PathBuf::from("results"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_number_panics() {
+        parse(&["--n", "abc"]).get_u64("n", 0);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        // A value that looks like a flag is not eaten as a value.
+        let a = parse(&["--a", "--b", "val"]);
+        assert_eq!(a.get("a"), Some("true"));
+        assert_eq!(a.get("b"), Some("val"));
+    }
+}

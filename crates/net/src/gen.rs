@@ -1,0 +1,368 @@
+//! Traffic generation at an HCA: classes, budgets, destinations.
+//!
+//! An HCA carries one or more **traffic classes**, each an independent
+//! virtual injector with its own byte budget — the Frame I semantics of
+//! the paper. A *B node* with p = 50 is two classes: a hotspot class
+//! allowed up to 50 % of `t × injection capacity` bytes by time `t`, and
+//! a uniform class allowed the other 50 %. The two are independent: a
+//! throttled hotspot class never head-of-line blocks the uniform class,
+//! and the uniform class never exceeds its own fraction even when the
+//! hotspot class idles.
+
+use crate::types::NodeId;
+use ibsim_engine::rng::Rng;
+use ibsim_engine::time::{Bandwidth, Time, PS_PER_S};
+
+/// How a class picks the destination of its next message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DestPattern {
+    /// Always the same destination (hotspot traffic; retargetable for
+    /// moving-hotspot scenarios).
+    Fixed(NodeId),
+    /// Uniform over all `n` end nodes except the sender itself.
+    UniformExceptSelf,
+    /// Cycle through an explicit list (deterministic tests, permutation
+    /// workloads).
+    Sequence(Vec<NodeId>),
+}
+
+impl DestPattern {
+    fn choose(&mut self, me: NodeId, num_nodes: u32, rng: &mut Rng) -> NodeId {
+        match self {
+            DestPattern::Fixed(d) => *d,
+            DestPattern::UniformExceptSelf => {
+                debug_assert!(num_nodes >= 2);
+                // Draw from n-1 slots and skip over `me`.
+                let r = rng.next_below(num_nodes as u64 - 1) as u32;
+                if r >= me {
+                    r + 1
+                } else {
+                    r
+                }
+            }
+            DestPattern::Sequence(seq) => {
+                let d = seq[0];
+                seq.rotate_left(1);
+                d
+            }
+        }
+    }
+}
+
+/// A message the class has committed to and is currently sending.
+#[derive(Clone, Copy, Debug)]
+struct Committed {
+    dst: NodeId,
+    bytes_left: u32,
+}
+
+/// One independent virtual injector at an HCA.
+#[derive(Clone, Debug)]
+pub struct TrafficClass {
+    /// Share of the node's injection capacity this class may consume,
+    /// in percent (the paper's `p` / `1 − p`).
+    pub percent: u32,
+    /// Destination selection for each new message.
+    pub dest: DestPattern,
+    /// Message size in bytes (the paper: 4096 = two MTU packets).
+    pub msg_bytes: u32,
+    /// Virtual lane and service level of the class's packets.
+    pub vl: u8,
+    pub sl: u8,
+    /// Stop after this many messages (None = unbounded).
+    pub max_messages: Option<u64>,
+    // ---- state ---------------------------------------------------------
+    sent_bytes: u64,
+    messages_started: u64,
+    committed: Option<Committed>,
+    budget_from: Time,
+    /// Private random stream — giving each class its own stream keeps
+    /// destination sequences identical between CC-on and CC-off runs of
+    /// the same scenario (common random numbers).
+    rng: Rng,
+}
+
+impl TrafficClass {
+    pub fn new(percent: u32, dest: DestPattern, msg_bytes: u32) -> Self {
+        assert!(percent <= 100, "budget percent > 100");
+        assert!(msg_bytes > 0, "empty messages");
+        TrafficClass {
+            percent,
+            dest,
+            msg_bytes,
+            vl: 0,
+            sl: 0,
+            max_messages: None,
+            sent_bytes: 0,
+            messages_started: 0,
+            committed: None,
+            budget_from: Time::ZERO,
+            rng: Rng::new(0),
+        }
+    }
+
+    /// Install the class's private random stream (done at registration
+    /// by the network, derived from the root seed, node id and class
+    /// index).
+    pub fn set_rng(&mut self, rng: Rng) {
+        self.rng = rng;
+    }
+
+    pub fn with_max_messages(mut self, n: u64) -> Self {
+        self.max_messages = Some(n);
+        self
+    }
+
+    /// Bytes this class was allowed to have sent by `now` at injection
+    /// capacity `rate`.
+    fn budget_bytes(&self, now: Time, rate: Bandwidth) -> u64 {
+        let dt = now.saturating_since(self.budget_from).as_ps() as u128;
+        let bits = rate.bits_per_sec() as u128 * dt * self.percent as u128 / 100;
+        (bits / (8 * PS_PER_S as u128)) as u64
+    }
+
+    /// Earliest time the budget reaches `target` bytes (for wakeups).
+    /// Returns `Time::MAX` for a zero-percent class.
+    fn budget_ready_at(&self, target: u64, rate: Bandwidth) -> Time {
+        if self.percent == 0 || rate.is_zero() {
+            return Time::MAX;
+        }
+        let bits = target as u128 * 8;
+        let ps = (bits * PS_PER_S as u128 * 100)
+            .div_ceil(rate.bits_per_sec() as u128 * self.percent as u128);
+        let ps64 = u64::try_from(ps).unwrap_or(u64::MAX);
+        Time(self.budget_from.as_ps().saturating_add(ps64))
+    }
+
+    /// Has this class exhausted a message cap?
+    pub fn finished(&self) -> bool {
+        self.committed.is_none()
+            && self
+                .max_messages
+                .is_some_and(|m| self.messages_started >= m)
+    }
+
+    /// What the class would send next, without consuming it.
+    ///
+    /// Returns the destination and packet size of the head packet, or
+    /// `Err(wakeup)` with the earliest time the class could become ready
+    /// (`Time::MAX` if only an external event such as new budget from a
+    /// recommit can unblock it).
+    pub fn peek(
+        &mut self,
+        now: Time,
+        me: NodeId,
+        num_nodes: u32,
+        rate: Bandwidth,
+        mtu: u32,
+    ) -> Result<(NodeId, u32), Time> {
+        if self.finished() {
+            return Err(Time::MAX);
+        }
+        if self.committed.is_none() {
+            // A new message begins only once the budget covers it beyond
+            // what was already sent.
+            let need = self.sent_bytes + self.msg_bytes as u64;
+            if self.budget_bytes(now, rate) < need {
+                return Err(self.budget_ready_at(need, rate));
+            }
+            let dst = self.dest.choose(me, num_nodes, &mut self.rng);
+            debug_assert!(dst != me, "class targets its own node");
+            self.committed = Some(Committed {
+                dst,
+                bytes_left: self.msg_bytes,
+            });
+            self.messages_started += 1;
+        }
+        let c = self.committed.as_ref().unwrap();
+        Ok((c.dst, c.bytes_left.min(mtu)))
+    }
+
+    /// Consume the head packet previously returned by [`peek`](Self::peek).
+    pub fn take(&mut self, pkt_bytes: u32) {
+        let c = self.committed.as_mut().expect("take without peek");
+        debug_assert!(pkt_bytes <= c.bytes_left);
+        c.bytes_left -= pkt_bytes;
+        self.sent_bytes += pkt_bytes as u64;
+        if c.bytes_left == 0 {
+            self.committed = None;
+        }
+    }
+
+    /// Retarget a `Fixed` destination (moving hotspots). A message
+    /// already committed to the old destination completes there.
+    pub fn retarget(&mut self, new_dst: NodeId) {
+        match &mut self.dest {
+            DestPattern::Fixed(d) => *d = new_dst,
+            _ => panic!("retarget on a non-Fixed class"),
+        }
+    }
+
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+    pub fn messages_started(&self) -> u64 {
+        self.messages_started
+    }
+    /// True when a message is half-sent.
+    pub fn mid_message(&self) -> bool {
+        self.committed.is_some()
+    }
+
+    /// Restart budget accounting from `now` (measurement epochs).
+    pub fn rebase_budget(&mut self, now: Time) {
+        self.budget_from = now;
+        self.sent_bytes = 0;
+    }
+}
+
+/// Convenience: the paper's standard 4096-byte message (2 MTU packets).
+pub const PAPER_MSG_BYTES: u32 = 4096;
+
+/// Earliest-of helper for wakeup times.
+pub fn earliest(a: Time, b: Time) -> Time {
+    if a <= b {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: Bandwidth = Bandwidth::from_gbps(8); // 1 byte per ns
+
+    fn rng() -> Rng {
+        Rng::new(1)
+    }
+
+    #[test]
+    fn fixed_pattern_always_same() {
+        let mut c = TrafficClass::new(100, DestPattern::Fixed(7), 4096);
+        let (d, b) = c.peek(Time::from_ns(1_000_000), 0, 16, R, 2048).unwrap();
+        assert_eq!(d, 7);
+        assert_eq!(b, 2048);
+    }
+
+    #[test]
+    fn uniform_never_picks_self() {
+        let mut pat = DestPattern::UniformExceptSelf;
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let d = pat.choose(3, 8, &mut r);
+            assert_ne!(d, 3);
+            assert!(d < 8);
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 7, "all other nodes reachable");
+    }
+
+    #[test]
+    fn sequence_cycles() {
+        let mut pat = DestPattern::Sequence(vec![1, 2, 3]);
+        let mut r = rng();
+        let picks: Vec<NodeId> = (0..5).map(|_| pat.choose(0, 8, &mut r)).collect();
+        assert_eq!(picks, [1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn budget_gates_message_start() {
+        // 50 % of 1 byte/ns; first 4096-byte message needs 8192 ns.
+        let mut c = TrafficClass::new(50, DestPattern::Fixed(1), 4096);
+        let err = c.peek(Time::from_ns(100), 0, 4, R, 2048).unwrap_err();
+        assert_eq!(err, Time::from_ns(8192), "wakeup at exact budget time");
+        assert!(c.peek(Time::from_ns(8192), 0, 4, R, 2048).is_ok());
+    }
+
+    #[test]
+    fn committed_message_survives_budget_dip() {
+        let mut c = TrafficClass::new(100, DestPattern::Fixed(1), 4096);
+        // Commit at a generous time.
+        let (_, b) = c.peek(Time::from_ms(1), 0, 4, R, 2048).unwrap();
+        c.take(b);
+        assert!(c.mid_message());
+        // Second packet of the committed message needs no budget check.
+        let (_, b2) = c.peek(Time::from_ms(1), 0, 4, R, 2048).unwrap();
+        assert_eq!(b2, 2048);
+        c.take(b2);
+        assert!(!c.mid_message());
+        assert_eq!(c.sent_bytes(), 4096);
+        assert_eq!(c.messages_started(), 1);
+    }
+
+    #[test]
+    fn odd_message_sizes_fragment_to_mtu() {
+        let mut c = TrafficClass::new(100, DestPattern::Fixed(1), 5000);
+        let mut sizes = vec![];
+        loop {
+            match c.peek(Time::from_ms(1), 0, 4, R, 2048) {
+                Ok((_, b)) => {
+                    sizes.push(b);
+                    c.take(b);
+                    if !c.mid_message() {
+                        break;
+                    }
+                }
+                Err(_) => panic!("budget should allow"),
+            }
+        }
+        assert_eq!(sizes, [2048, 2048, 904]);
+    }
+
+    #[test]
+    fn max_messages_stops_class() {
+        let mut c = TrafficClass::new(100, DestPattern::Fixed(1), 2048).with_max_messages(2);
+        for _ in 0..2 {
+            let (_, b) = c.peek(Time::from_ms(10), 0, 4, R, 2048).unwrap();
+            c.take(b);
+        }
+        assert_eq!(c.peek(Time::from_ms(10), 0, 4, R, 2048), Err(Time::MAX));
+    }
+
+    #[test]
+    fn zero_percent_class_never_ready() {
+        let mut c = TrafficClass::new(0, DestPattern::Fixed(1), 2048);
+        assert_eq!(c.peek(Time::from_ms(10), 0, 4, R, 2048), Err(Time::MAX));
+    }
+
+    #[test]
+    fn budget_fraction_enforced_over_time() {
+        // 25 % of 1 byte/ns over 1 ms = 250_000 bytes ⇒ ~61 messages.
+        let mut c = TrafficClass::new(25, DestPattern::Fixed(1), 4096);
+        let now = Time::from_ms(1);
+        let mut sent = 0u64;
+        while let Ok((_, b)) = c.peek(now, 0, 4, R, 2048) {
+            c.take(b);
+            sent += b as u64;
+        }
+        let budget = 250_000u64;
+        assert!(sent <= budget, "{sent} > {budget}");
+        assert!(sent >= budget - 4096, "{sent} far below {budget}");
+    }
+
+    #[test]
+    fn retarget_changes_future_messages() {
+        let mut c = TrafficClass::new(100, DestPattern::Fixed(1), 2048);
+        let (d, b) = c.peek(Time::from_ms(1), 0, 8, R, 2048).unwrap();
+        assert_eq!(d, 1);
+        c.take(b);
+        c.retarget(5);
+        let (d, _) = c.peek(Time::from_ms(1), 0, 8, R, 2048).unwrap();
+        assert_eq!(d, 5);
+    }
+
+    #[test]
+    fn rebase_budget_restarts_accounting() {
+        let mut c = TrafficClass::new(100, DestPattern::Fixed(1), 2048);
+        let (_, b) = c.peek(Time::from_ms(1), 0, 4, R, 2048).unwrap();
+        c.take(b);
+        c.rebase_budget(Time::from_ms(2));
+        assert_eq!(c.sent_bytes(), 0);
+        // Immediately after a rebase the budget is zero again.
+        let err = c.peek(Time::from_ms(2), 0, 4, R, 2048).unwrap_err();
+        assert!(err > Time::from_ms(2));
+    }
+}

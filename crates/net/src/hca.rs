@@ -1,0 +1,551 @@
+//! The Host Channel Adapter model: traffic generation (`gen`), packet
+//! sinking (`sink`), injection-rate shaping, CNP generation and the CA
+//! side of congestion control (`ccmgr`).
+
+use crate::gen::TrafficClass;
+use crate::types::{NodeId, Packet, PacketKind, Vl, CNP_BYTES};
+use ibsim_cc::HcaCc;
+use ibsim_engine::time::{Time, TimeDelta};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// What the HCA's injector wants to do next.
+#[derive(Debug)]
+pub enum NextSend {
+    /// A packet to put on the wire now.
+    Packet(Packet),
+    /// Nothing sendable now; retry at this time (budget or IRD gate).
+    WaitUntil(Time),
+    /// Nothing sendable; only an external event (credits, a new CNP,
+    /// transmitter freeing) can unblock.
+    Idle,
+}
+
+/// A pending congestion notification to return to a source.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingCnp {
+    pub dst: NodeId,
+    pub vl: Vl,
+    pub sl: u8,
+}
+
+/// One end node: generator, sink, and CC agent.
+#[derive(Clone, Debug)]
+pub struct Hca {
+    pub id: NodeId,
+    // ---- egress ---------------------------------------------------------
+    /// Channel from this HCA into the fabric.
+    pub out_channel: u32,
+    /// Credits available at the attached switch's input buffer, per VL.
+    pub credits: Vec<u32>,
+    /// Transmitter busy until (wire-rate serialisation).
+    pub busy_until: Time,
+    /// Injection shaping: earliest next packet start (PCIe cap).
+    next_inject_at: Time,
+    /// Earliest pending `HcaTrySend` event (dedup guard), `Time::MAX`
+    /// when none.
+    pub wakeup_at: Time,
+    /// Congestion notifications waiting to go out (strict priority).
+    cnp_queue: VecDeque<PendingCnp>,
+    pub classes: Vec<TrafficClass>,
+    rr_class: usize,
+    /// CA-side congestion control state.
+    pub cc: HcaCc,
+    /// Per-destination injection sequence numbers.
+    seqs: HashMap<NodeId, u32>,
+    // ---- ingress --------------------------------------------------------
+    /// Channel from the fabric into this HCA.
+    pub in_channel: u32,
+    /// The packet currently being drained by the sink, if any.
+    draining: Option<Packet>,
+    sink_queue: VecDeque<Packet>,
+    /// Per-source last delivered sequence number (ordering check).
+    last_seq: HashMap<NodeId, u32>,
+    /// Bytes received per source inside the measurement window —
+    /// feeds per-flow fairness metrics.
+    pub rx_by_src: HashMap<NodeId, u64>,
+    // ---- statistics ------------------------------------------------------
+    pub rx_meter: ibsim_engine::RateMeter,
+    pub tx_meter: ibsim_engine::RateMeter,
+    pub latency: ibsim_engine::Histogram,
+    pub injected_packets: u64,
+    pub delivered_packets: u64,
+    pub cnps_sent: u64,
+    pub cnps_delivered: u64,
+}
+
+impl Hca {
+    pub fn new(id: NodeId, n_vls: u8, cc: HcaCc) -> Self {
+        Hca {
+            id,
+            out_channel: u32::MAX,
+            credits: vec![0; n_vls as usize],
+            busy_until: Time::ZERO,
+            next_inject_at: Time::ZERO,
+            wakeup_at: Time::MAX,
+            cnp_queue: VecDeque::new(),
+            classes: Vec::new(),
+            rr_class: 0,
+            cc,
+            seqs: HashMap::new(),
+            in_channel: u32::MAX,
+            draining: None,
+            sink_queue: VecDeque::new(),
+            last_seq: HashMap::new(),
+            rx_by_src: HashMap::new(),
+            rx_meter: ibsim_engine::RateMeter::new(),
+            tx_meter: ibsim_engine::RateMeter::new(),
+            latency: ibsim_engine::Histogram::new(),
+            injected_packets: 0,
+            delivered_packets: 0,
+            cnps_sent: 0,
+            cnps_delivered: 0,
+        }
+    }
+
+    /// Decide the next packet to put on the wire at `now`.
+    ///
+    /// Order of precedence:
+    /// 1. the transmitter must be free and the injection shaper open;
+    /// 2. pending CNPs (strict priority — congestion feedback must not
+    ///    sit behind throttled data);
+    /// 3. traffic classes, round-robin among those with budget, an open
+    ///    IRD gate, and whole-packet credits.
+    pub fn next_packet(
+        &mut self,
+        now: Time,
+        num_nodes: u32,
+        cfg: &crate::config::NetConfig,
+        cc_enabled: bool,
+    ) -> NextSend {
+        if self.busy_until > now {
+            return NextSend::Idle; // TxDone re-fires the injector
+        }
+        if self.next_inject_at > now {
+            return NextSend::WaitUntil(self.next_inject_at);
+        }
+
+        // CNPs first.
+        if let Some(&cnp) = self.cnp_queue.front() {
+            if self.credits[cnp.vl as usize] >= 1 {
+                self.cnp_queue.pop_front();
+                return NextSend::Packet(Packet {
+                    src: self.id,
+                    dst: cnp.dst,
+                    bytes: CNP_BYTES,
+                    vl: cnp.vl,
+                    sl: cnp.sl,
+                    kind: PacketKind::Cnp,
+                    fecn: false,
+                    seq: 0,
+                    injected_at: now,
+                });
+            }
+            // Credit-blocked CNP: data on the same VL is blocked too,
+            // but another VL may still proceed; fall through.
+        }
+
+        let n = self.classes.len();
+        let mut wakeup = Time::MAX;
+        for k in 0..n {
+            let i = (self.rr_class + k) % n;
+            let class = &mut self.classes[i];
+            let (dst, bytes) = match class.peek(now, self.id, num_nodes, cfg.inj_rate, cfg.mtu) {
+                Ok(x) => x,
+                Err(t) => {
+                    if t < wakeup {
+                        wakeup = t;
+                    }
+                    continue;
+                }
+            };
+            // IRD gate for this flow.
+            if cc_enabled {
+                let key = self.cc.flow_key(dst, class.sl);
+                let gate = self.cc.next_allowed(key);
+                if gate > now {
+                    if gate < wakeup {
+                        wakeup = gate;
+                    }
+                    continue;
+                }
+            }
+            // Whole-packet credits at the attached switch.
+            let vl = class.vl as usize;
+            if self.credits[vl] < crate::types::blocks_for(bytes) {
+                continue; // a credit event re-fires the injector
+            }
+            class.take(bytes);
+            let sl = class.sl;
+            let vlv = class.vl;
+            let seq = {
+                let s = self.seqs.entry(dst).or_insert(0);
+                *s += 1;
+                *s
+            };
+            self.rr_class = (i + 1) % n;
+            return NextSend::Packet(Packet {
+                src: self.id,
+                dst,
+                bytes,
+                vl: vlv,
+                sl,
+                kind: PacketKind::Data { class: i as u8 },
+                fecn: false,
+                seq,
+                injected_at: now,
+            });
+        }
+        if wakeup == Time::MAX {
+            NextSend::Idle
+        } else {
+            NextSend::WaitUntil(wakeup)
+        }
+    }
+
+    /// Account for a packet put on the wire at `now`: occupy the
+    /// transmitter, advance the injection shaper, consume credits,
+    /// apply the CC bookkeeping. Returns the serialisation time.
+    pub fn note_sent(
+        &mut self,
+        pkt: &Packet,
+        now: Time,
+        cfg: &crate::config::NetConfig,
+        cc_enabled: bool,
+    ) -> TimeDelta {
+        let ser = cfg.link_bw.tx_time(pkt.bytes as u64);
+        self.busy_until = now + ser;
+        self.next_inject_at = now + cfg.inj_rate.tx_time(pkt.bytes as u64);
+        self.credits[pkt.vl as usize] -= pkt.blocks();
+        self.injected_packets += 1;
+        if pkt.is_cnp() {
+            self.cnps_sent += 1;
+        } else {
+            self.tx_meter.record(now, pkt.bytes as u64);
+            if cc_enabled {
+                let key = self.cc.flow_key(pkt.dst, pkt.sl);
+                self.cc.note_packet_sent(key, self.busy_until, ser);
+            }
+        }
+        ser
+    }
+
+    /// A packet fully arrived from the fabric. FECN-marked data
+    /// immediately queues a CNP back to its source ("the CA should as
+    /// quickly as possible notify the source"). Returns true if the
+    /// sink was idle and a drain should start.
+    pub fn receive(&mut self, pkt: Packet, cc_enabled: bool) -> bool {
+        if pkt.fecn && cc_enabled && !pkt.is_cnp() {
+            self.cnp_queue.push_back(PendingCnp {
+                dst: pkt.src,
+                vl: pkt.vl,
+                sl: pkt.sl,
+            });
+        }
+        let idle = self.draining.is_none();
+        self.sink_queue.push_back(pkt);
+        idle
+    }
+
+    /// Begin draining the next queued packet, if the sink is idle.
+    /// Returns the drain time of the packet now being drained.
+    pub fn start_drain(&mut self, cfg: &crate::config::NetConfig) -> Option<TimeDelta> {
+        if self.draining.is_some() {
+            return None;
+        }
+        let pkt = self.sink_queue.pop_front()?;
+        let dt = cfg.drain_rate.tx_time(pkt.bytes as u64);
+        self.draining = Some(pkt);
+        Some(dt)
+    }
+
+    /// The sink finished draining the current packet at `now`. Performs
+    /// delivery accounting (or BECN processing for CNPs) and returns the
+    /// drained packet for credit release.
+    pub fn finish_drain(&mut self, now: Time, cc_enabled: bool) -> Packet {
+        let pkt = self.draining.take().expect("finish_drain with idle sink");
+        match pkt.kind {
+            PacketKind::Cnp => {
+                self.cnps_delivered += 1;
+                if cc_enabled {
+                    let key = self.cc.flow_key(pkt.src, pkt.sl);
+                    self.cc.on_becn(key);
+                }
+            }
+            PacketKind::Data { .. } => {
+                self.delivered_packets += 1;
+                if self.rx_meter.is_open(now) {
+                    *self.rx_by_src.entry(pkt.src).or_insert(0) += pkt.bytes as u64;
+                }
+                self.rx_meter.record(now, pkt.bytes as u64);
+                self.latency
+                    .record(now.saturating_since(pkt.injected_at).as_ps());
+                // Deterministic routing + FIFO queueing must preserve
+                // per-(src,dst) ordering.
+                let last = self.last_seq.entry(pkt.src).or_insert(0);
+                debug_assert!(
+                    pkt.seq > *last,
+                    "out-of-order delivery from {}: {} after {}",
+                    pkt.src,
+                    pkt.seq,
+                    *last
+                );
+                *last = pkt.seq;
+            }
+        }
+        pkt
+    }
+
+    /// Packets the generator still wants to emit right now (pending
+    /// CNPs or a half-sent message) — used by drain-to-idle tests.
+    pub fn has_urgent_backlog(&self) -> bool {
+        !self.cnp_queue.is_empty() || self.classes.iter().any(|c| c.mid_message())
+    }
+
+    pub fn pending_cnps(&self) -> usize {
+        self.cnp_queue.len()
+    }
+    pub fn sink_depth(&self) -> usize {
+        self.sink_queue.len() + usize::from(self.draining.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use crate::gen::DestPattern;
+    use ibsim_cc::CcParams;
+    use ibsim_engine::Rng;
+    use std::sync::Arc;
+
+    fn hca() -> (Hca, NetConfig) {
+        let cfg = NetConfig::paper();
+        let cc = HcaCc::new(Arc::new(CcParams::paper_table1()));
+        let mut h = Hca::new(3, 1, cc);
+        h.credits = vec![128];
+        (h, cfg)
+    }
+
+    fn add_class(h: &mut Hca, percent: u32, dest: DestPattern) {
+        let mut c = TrafficClass::new(percent, dest, 4096);
+        c.set_rng(Rng::derive(1, h.classes.len() as u64));
+        h.classes.push(c);
+    }
+
+    #[test]
+    fn sends_data_when_open() {
+        let (mut h, cfg) = hca();
+        add_class(&mut h, 100, DestPattern::Fixed(7));
+        // Budget needs 4096 bytes at 13.5 Gbit/s ≈ 2.43 µs.
+        let t = Time::from_us(3);
+        match h.next_packet(t, 16, &cfg, true) {
+            NextSend::Packet(p) => {
+                assert_eq!(p.dst, 7);
+                assert_eq!(p.bytes, 2048);
+                assert_eq!(p.seq, 1);
+                let ser = h.note_sent(&p, t, &cfg, true);
+                assert_eq!(ser, TimeDelta(819_200));
+                assert_eq!(h.credits[0], 128 - 32);
+                assert_eq!(h.injected_packets, 1);
+            }
+            other => panic!("expected packet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_wakeup_before_first_message() {
+        let (mut h, cfg) = hca();
+        add_class(&mut h, 100, DestPattern::Fixed(7));
+        match h.next_packet(Time::ZERO, 16, &cfg, true) {
+            NextSend::WaitUntil(t) => {
+                // 4096 bytes at 13.5 Gbit/s = 2427.26 ns (rounded up).
+                assert!(t > Time::ZERO && t < Time::from_us(3), "{t:?}");
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injection_shaping_spaces_packets() {
+        let (mut h, cfg) = hca();
+        add_class(&mut h, 100, DestPattern::Fixed(7));
+        let t = Time::from_us(5);
+        let p = match h.next_packet(t, 16, &cfg, true) {
+            NextSend::Packet(p) => p,
+            o => panic!("{o:?}"),
+        };
+        h.note_sent(&p, t, &cfg, true);
+        // Transmitter frees at t+819.2ns but the shaper holds the next
+        // packet until t + 2048B/13.5Gbps ≈ t + 1213.6ns.
+        let after_tx = h.busy_until;
+        match h.next_packet(after_tx, 16, &cfg, true) {
+            NextSend::WaitUntil(w) => {
+                let spacing = w.saturating_since(t);
+                let expect = cfg.inj_rate.tx_time(2048);
+                assert_eq!(spacing, expect);
+            }
+            o => panic!("expected shaper wait, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn cnp_takes_priority_over_data() {
+        let (mut h, cfg) = hca();
+        add_class(&mut h, 100, DestPattern::Fixed(7));
+        // Enough budget for data, but a FECN-marked arrival queued a CNP.
+        let marked = Packet {
+            src: 9,
+            dst: 3,
+            bytes: 2048,
+            vl: 0,
+            sl: 0,
+            kind: PacketKind::Data { class: 0 },
+            fecn: true,
+            seq: 1,
+            injected_at: Time::ZERO,
+        };
+        h.receive(marked, true);
+        assert_eq!(h.pending_cnps(), 1);
+        let t = Time::from_us(5);
+        match h.next_packet(t, 16, &cfg, true) {
+            NextSend::Packet(p) => {
+                assert!(p.is_cnp());
+                assert_eq!(p.dst, 9, "CNP returns to the marker's source");
+                assert_eq!(p.bytes, CNP_BYTES);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn no_cnp_when_cc_disabled() {
+        let (mut h, _) = hca();
+        let marked = Packet {
+            src: 9,
+            dst: 3,
+            bytes: 2048,
+            vl: 0,
+            sl: 0,
+            kind: PacketKind::Data { class: 0 },
+            fecn: true,
+            seq: 1,
+            injected_at: Time::ZERO,
+        };
+        h.receive(marked, false);
+        assert_eq!(h.pending_cnps(), 0);
+    }
+
+    #[test]
+    fn ird_gate_blocks_flow_but_not_other_class() {
+        let (mut h, cfg) = hca();
+        add_class(&mut h, 50, DestPattern::Fixed(7));
+        add_class(&mut h, 50, DestPattern::Fixed(9));
+        // Throttle destination 7 hard.
+        for _ in 0..50 {
+            h.cc.on_becn(7);
+        }
+        let t = Time::from_us(10);
+        // Prime flow 7's gate by "sending" one packet.
+        h.cc.note_packet_sent(7, t, TimeDelta::from_ns(820));
+        // 50 BECNs → CCTI 50 → gate = t + 50*820ns, far in the future.
+        match h.next_packet(t, 16, &cfg, true) {
+            NextSend::Packet(p) => assert_eq!(p.dst, 9, "unthrottled class proceeds"),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn becn_on_cnp_drain_raises_ccti() {
+        let (mut h, cfg) = hca();
+        let cnp = Packet {
+            src: 5,
+            dst: 3,
+            bytes: CNP_BYTES,
+            vl: 0,
+            sl: 0,
+            kind: PacketKind::Cnp,
+            fecn: false,
+            seq: 0,
+            injected_at: Time::ZERO,
+        };
+        assert!(h.receive(cnp, true));
+        let dt = h.start_drain(&cfg).unwrap();
+        assert!(dt > TimeDelta::ZERO);
+        let pkt = h.finish_drain(Time::from_ns(100), true);
+        assert!(pkt.is_cnp());
+        assert_eq!(h.cc.ccti(5), 1, "BECN raises CCTI toward CNP source");
+        assert_eq!(h.delivered_packets, 0, "CNPs are not data deliveries");
+    }
+
+    #[test]
+    fn sink_serialises_drains() {
+        let (mut h, cfg) = hca();
+        let mk = |seq| Packet {
+            src: 2,
+            dst: 3,
+            bytes: 2048,
+            vl: 0,
+            sl: 0,
+            kind: PacketKind::Data { class: 0 },
+            fecn: false,
+            seq,
+            injected_at: Time::ZERO,
+        };
+        assert!(h.receive(mk(1), true), "idle sink starts drain");
+        h.start_drain(&cfg).unwrap();
+        assert!(!h.receive(mk(2), true), "busy sink just queues");
+        assert_eq!(h.sink_depth(), 2);
+        assert!(h.start_drain(&cfg).is_none(), "one drain at a time");
+        h.finish_drain(Time::from_us(2), true);
+        assert_eq!(h.delivered_packets, 1);
+        h.start_drain(&cfg).unwrap();
+        h.finish_drain(Time::from_us(4), true);
+        assert_eq!(h.delivered_packets, 2);
+        assert_eq!(h.sink_depth(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_order_delivery_asserts() {
+        let (mut h, cfg) = hca();
+        let mk = |seq| Packet {
+            src: 2,
+            dst: 3,
+            bytes: 64,
+            vl: 0,
+            sl: 0,
+            kind: PacketKind::Data { class: 0 },
+            fecn: false,
+            seq,
+            injected_at: Time::ZERO,
+        };
+        h.receive(mk(2), true);
+        h.receive(mk(1), true);
+        h.start_drain(&cfg);
+        h.finish_drain(Time::from_us(1), true);
+        h.start_drain(&cfg);
+        h.finish_drain(Time::from_us(2), true); // seq 1 after 2: assert
+    }
+
+    #[test]
+    fn idle_when_no_classes() {
+        let (mut h, cfg) = hca();
+        match h.next_packet(Time::from_us(1), 16, &cfg, true) {
+            NextSend::Idle => {}
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn credit_starved_class_is_idle_not_waiting() {
+        let (mut h, cfg) = hca();
+        add_class(&mut h, 100, DestPattern::Fixed(7));
+        h.credits = vec![0];
+        match h.next_packet(Time::from_us(5), 16, &cfg, true) {
+            NextSend::Idle => {} // credits will re-fire the injector
+            o => panic!("{o:?}"),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # ibsim-net
+//!
+//! The lossless InfiniBand network model: the role of the compound
+//! OMNeT++ modules (`HCA`, `Switch`, `SwitchPort` with their `ibuf`,
+//! `obuf`, `vlarb`, `gen`, `sink`, `ccmgr` simple modules) in the
+//! paper's simulator.
+//!
+//! * packet-granular discrete-event model with **virtual cut-through**
+//!   timing and **credit-based link-level flow control** in 64-byte
+//!   blocks — the network never drops a packet;
+//! * switches with per-input virtual output queueing and round-robin
+//!   output arbitration over (input, VL) pairs;
+//! * HCAs with independent per-class injection budgets (the paper's
+//!   Frame I semantics), injection-rate shaping (the 13.5 Gbit/s PCIe
+//!   cap), a rate-limited sink (13.6 Gbit/s) and CNP generation;
+//! * the full FECN → BECN → IRD congestion-control loop, wired to
+//!   `ibsim-cc`.
+//!
+//! Build a [`network::Network`] from an `ibsim-topo` topology plus a
+//! [`config::NetConfig`], install [`gen::TrafficClass`]es, and run.
+
+pub mod config;
+pub mod diag;
+pub mod gen;
+pub mod hca;
+pub mod network;
+pub mod switch;
+pub mod trace;
+pub mod types;
+pub mod vlarb;
+
+pub use config::NetConfig;
+pub use diag::NetworkSnapshot;
+pub use gen::{DestPattern, TrafficClass, PAPER_MSG_BYTES};
+pub use hca::Hca;
+pub use network::{Dev, Event, Network};
+pub use switch::Switch;
+pub use trace::{TracePoint, TraceRecord, Tracer};
+pub use types::{blocks_for, NodeId, Packet, PacketKind, Vl, BLOCK_BYTES, CNP_BYTES};
+pub use vlarb::{VlArbTable, VlArbiter, VlWeight};

@@ -1,0 +1,670 @@
+//! The assembled network: devices wired per a topology, one event loop.
+
+use crate::config::NetConfig;
+use crate::gen::TrafficClass;
+use crate::hca::{Hca, NextSend};
+use crate::switch::{Desc, Grant, Switch};
+use crate::trace::{TracePoint, Tracer};
+use crate::types::{NodeId, Packet, Vl};
+use ibsim_cc::HcaCc;
+use ibsim_engine::queue::EventQueue;
+use ibsim_engine::rng::Rng;
+use ibsim_engine::time::{Time, TimeDelta};
+use ibsim_topo::{Endpoint, Topology};
+use std::sync::Arc;
+
+/// A device reference: switches and HCAs live in separate arenas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dev {
+    Switch(u32),
+    Hca(u32),
+}
+
+/// A unidirectional channel (each topology cable becomes two).
+#[derive(Clone, Copy, Debug)]
+pub struct Channel {
+    pub from: (Dev, u16),
+    pub to: (Dev, u16),
+    pub delay: TimeDelta,
+    /// Channel id of the opposite direction (credit return path).
+    pub reverse: u32,
+}
+
+/// Simulation events.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Packet head reaches the receiving end of `ch` (switch ingress).
+    SwArrive { ch: u32, pkt: Packet },
+    /// Packet tail fully arrives at an HCA.
+    HcaArrive { ch: u32, pkt: Packet },
+    /// Switch output transmitter frees up.
+    SwTxDone { sw: u32, port: u16 },
+    /// Explicit arbitration trigger (packet became ready).
+    SwTryArb { sw: u32, port: u16 },
+    /// Flow-control credit update reaches a switch output port.
+    SwCredit {
+        sw: u32,
+        port: u16,
+        vl: Vl,
+        blocks: u32,
+    },
+    /// HCA transmitter frees up.
+    HcaTxDone { hca: u32 },
+    /// Injection wakeup (budget/IRD gate opens).
+    HcaTrySend { hca: u32 },
+    /// Flow-control credit update reaches an HCA.
+    HcaCredit { hca: u32, vl: Vl, blocks: u32 },
+    /// HCA sink finished draining a packet.
+    SinkDone { hca: u32 },
+    /// CCTI recovery-timer expiry at an HCA.
+    CctiTick { hca: u32 },
+}
+
+/// The fully-wired simulator for one network.
+pub struct Network {
+    pub cfg: NetConfig,
+    queue: EventQueue<Event>,
+    pub switches: Vec<Switch>,
+    pub hcas: Vec<Hca>,
+    pub channels: Vec<Channel>,
+    cc_params: Option<Arc<ibsim_cc::CcParams>>,
+    tracer: Option<Tracer>,
+    primed: bool,
+    measuring_since: Option<Time>,
+    measured_until: Option<Time>,
+}
+
+impl Network {
+    /// Instantiate `topo` with `cfg`. Panics on an invalid config; the
+    /// topology is assumed validated (`Topology::validate`).
+    pub fn new(topo: &Topology, cfg: NetConfig) -> Self {
+        cfg.validate().expect("invalid NetConfig");
+        let cc_params = cfg.cc.clone().map(Arc::new);
+        let n_vls = cfg.n_vls;
+
+        let mut switches: Vec<Switch> = topo
+            .switches
+            .iter()
+            .zip(&topo.lfts)
+            .map(|(s, lft)| {
+                Switch::with_arbitration(s.ports, n_vls, lft.clone(), cfg.vl_arbitration.clone())
+            })
+            .collect();
+        let mut hcas: Vec<Hca> = (0..topo.num_hcas)
+            .map(|i| {
+                let cc = HcaCc::new(
+                    cc_params
+                        .clone()
+                        .unwrap_or_else(|| Arc::new(ibsim_cc::CcParams::paper_table1())),
+                );
+                Hca::new(i as NodeId, n_vls, cc)
+            })
+            .collect();
+
+        // Expand cables into unidirectional channel pairs and wire ports.
+        let mut channels = Vec::with_capacity(topo.links.len() * 2);
+        let as_dev = |ep: Endpoint| -> (Dev, u16) {
+            match ep {
+                Endpoint::Hca(h) => (Dev::Hca(h as u32), 0),
+                Endpoint::SwitchPort { switch, port } => (Dev::Switch(switch as u32), port as u16),
+            }
+        };
+        for l in &topo.links {
+            let a = as_dev(l.a);
+            let b = as_dev(l.b);
+            let fwd = channels.len() as u32;
+            channels.push(Channel {
+                from: a,
+                to: b,
+                delay: cfg.link_delay,
+                reverse: fwd + 1,
+            });
+            channels.push(Channel {
+                from: b,
+                to: a,
+                delay: cfg.link_delay,
+                reverse: fwd,
+            });
+        }
+        for (id, ch) in channels.iter().enumerate() {
+            let id = id as u32;
+            match ch.from.0 {
+                Dev::Switch(s) => {
+                    switches[s as usize].ports[ch.from.1 as usize].out_channel = Some(id)
+                }
+                Dev::Hca(h) => hcas[h as usize].out_channel = id,
+            }
+            match ch.to.0 {
+                Dev::Switch(s) => {
+                    switches[s as usize].ports[ch.to.1 as usize].in_channel = Some(id)
+                }
+                Dev::Hca(h) => hcas[h as usize].in_channel = id,
+            }
+        }
+
+        // Initial credits: the downstream input buffer size, per VL.
+        for ch in &channels {
+            let credit = match ch.to.0 {
+                Dev::Switch(_) => cfg.switch_ibuf_blocks,
+                Dev::Hca(_) => cfg.hca_ibuf_blocks,
+            };
+            match ch.from.0 {
+                Dev::Switch(s) => {
+                    let port = &mut switches[s as usize].ports[ch.from.1 as usize];
+                    port.credits = vec![credit; n_vls as usize];
+                }
+                Dev::Hca(h) => {
+                    hcas[h as usize].credits = vec![credit; n_vls as usize];
+                }
+            }
+        }
+
+        // Congestion detectors, Victim_Mask on HCA-facing ports.
+        if let Some(params) = &cc_params {
+            for sw in switches.iter_mut() {
+                let victim: Vec<bool> = (0..sw.radix())
+                    .map(|p| {
+                        sw.ports[p]
+                            .out_channel
+                            .map(|c| matches!(channels[c as usize].to.0, Dev::Hca(_)))
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                sw.install_cc(params, cfg.cc_detect_capacity, &victim);
+            }
+        }
+
+        Network {
+            cfg,
+            queue: EventQueue::new(),
+            switches,
+            hcas,
+            channels,
+            cc_params,
+            tracer: None,
+            primed: false,
+            measuring_since: None,
+            measured_until: None,
+        }
+    }
+
+    // ---- configuration before running ----------------------------------
+
+    /// Install traffic classes on `node`, deriving each class's random
+    /// stream from the root seed.
+    pub fn set_classes(&mut self, node: NodeId, classes: Vec<TrafficClass>) {
+        assert!(!self.primed, "set_classes after prime");
+        let seed = self.cfg.seed;
+        let hca = &mut self.hcas[node as usize];
+        hca.classes = classes;
+        for (i, c) in hca.classes.iter_mut().enumerate() {
+            c.set_rng(Rng::derive(seed, (node as u64) << 8 | i as u64));
+        }
+    }
+
+    /// Retarget a `Fixed`-destination class (moving hotspots); safe
+    /// while running.
+    pub fn retarget_class(&mut self, node: NodeId, class: usize, new_dst: NodeId) {
+        self.hcas[node as usize].classes[class].retarget(new_dst);
+        // The class may have been parked with an unreachable wakeup;
+        // give the injector a nudge.
+        self.nudge_hca(node);
+    }
+
+    /// Trace the given (src, dst) flows hop by hop.
+    pub fn enable_trace(&mut self, flows: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        self.tracer = Some(Tracer::for_flows(flows));
+    }
+
+    /// Collected trace records (empty tracer if tracing is off).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    #[inline]
+    fn trace(&mut self, at: Time, pkt: &Packet, point: TracePoint) {
+        if let Some(t) = &mut self.tracer {
+            t.record(at, pkt.src, pkt.dst, pkt.seq, point);
+        }
+    }
+
+    /// Schedule the initial events. Call once, before `run_until`.
+    pub fn prime(&mut self) {
+        assert!(!self.primed, "prime twice");
+        self.primed = true;
+        for i in 0..self.hcas.len() {
+            if !self.hcas[i].classes.is_empty() {
+                self.hcas[i].wakeup_at = Time::ZERO;
+                self.queue
+                    .schedule(Time::ZERO, Event::HcaTrySend { hca: i as u32 });
+                if let Some(p) = &self.cc_params {
+                    // Stagger each HCA's recovery-timer phase with a
+                    // deterministic offset. Real adapters boot at
+                    // different times; a fleet of timers firing in
+                    // lockstep would synchronise every flow's additive
+                    // decrease and amplify the AIMD sawtooth.
+                    let phase = Rng::derive(self.cfg.seed, 0xC711 ^ i as u64)
+                        .next_below(p.timer_period_ps());
+                    self.queue.schedule(
+                        Time(p.timer_period_ps() + phase),
+                        Event::CctiTick { hca: i as u32 },
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- running ---------------------------------------------------------
+
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+    pub fn cc_enabled(&self) -> bool {
+        self.cc_params.is_some()
+    }
+
+    /// Run the event loop until simulated time `t` (events at exactly
+    /// `t` are processed).
+    pub fn run_until(&mut self, t: Time) {
+        if !self.primed {
+            self.prime();
+        }
+        while let Some((at, ev)) = self.queue.pop_until(t) {
+            self.dispatch(at, ev);
+        }
+    }
+
+    /// Run until the workload drains (every class finished, every
+    /// packet delivered). Only terminates for workloads with message
+    /// caps; panics after `max_events` as a runaway guard. Returns the
+    /// time of the last meaningful event.
+    pub fn run_to_idle(&mut self, max_events: u64) -> Time {
+        if !self.primed {
+            self.prime();
+        }
+        let mut last = self.queue.now();
+        while let Some((at, ev)) = self.queue.pop() {
+            let is_tick = matches!(ev, Event::CctiTick { .. });
+            if is_tick && self.workload_drained() {
+                // Drop the perpetual recovery timer once nothing can
+                // ever send again; the heap then drains and we stop.
+                continue;
+            }
+            self.dispatch(at, ev);
+            if !is_tick {
+                last = at;
+            }
+            assert!(
+                self.queue.processed() <= max_events,
+                "run_to_idle exceeded {max_events} events; unbounded workload?"
+            );
+        }
+        last
+    }
+
+    /// Credit conservation at quiescence: once nothing is in flight,
+    /// every sender-side credit counter must have recovered to the full
+    /// downstream buffer capacity — any shortfall means credits (i.e.
+    /// buffer space) leaked somewhere. Returns the first violation.
+    pub fn check_credits_at_rest(&self) -> Result<(), String> {
+        for (id, ch) in self.channels.iter().enumerate() {
+            let expect = match ch.to.0 {
+                Dev::Switch(_) => self.cfg.switch_ibuf_blocks,
+                Dev::Hca(_) => self.cfg.hca_ibuf_blocks,
+            };
+            let have: &[u32] = match ch.from {
+                (Dev::Switch(sw), port) => &self.switches[sw as usize].ports[port as usize].credits,
+                (Dev::Hca(h), _) => &self.hcas[h as usize].credits,
+            };
+            for (vl, &c) in have.iter().enumerate() {
+                if c != expect {
+                    return Err(format!(
+                        "channel {id} VL {vl}: {c} credits at rest, expected {expect}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every class finished, nothing in flight, every sink empty.
+    pub fn workload_drained(&self) -> bool {
+        let delivered: u64 = self
+            .hcas
+            .iter()
+            .map(|h| h.delivered_packets + h.cnps_delivered)
+            .sum();
+        self.hcas.iter().all(|h| {
+            h.sink_depth() == 0 && h.pending_cnps() == 0 && h.classes.iter().all(|c| c.finished())
+        }) && self.total_injected_packets() == delivered
+    }
+
+    // ---- measurement -----------------------------------------------------
+
+    /// Open the measurement window at the current instant (end of
+    /// warmup).
+    pub fn start_measurement(&mut self) {
+        let now = self.queue.now();
+        self.measuring_since = Some(now);
+        self.measured_until = None;
+        for h in &mut self.hcas {
+            h.rx_meter.start_window(now);
+            h.tx_meter.start_window(now);
+            h.rx_by_src.clear();
+        }
+    }
+
+    /// Close the measurement window at the current instant.
+    pub fn stop_measurement(&mut self) {
+        let now = self.queue.now();
+        self.measured_until = Some(now);
+        for h in &mut self.hcas {
+            h.rx_meter.end_window(now);
+            h.tx_meter.end_window(now);
+        }
+    }
+
+    /// The open (or closed) measurement window, if any.
+    pub fn measurement_window(&self) -> Option<(Time, Option<Time>)> {
+        self.measuring_since.map(|s| (s, self.measured_until))
+    }
+
+    /// Average receive rate of `node` over the measurement window, Gbit/s.
+    pub fn rx_gbps(&self, node: NodeId) -> f64 {
+        self.hcas[node as usize].rx_meter.gbps(self.queue.now())
+    }
+
+    /// Average injection rate of `node` over the window, Gbit/s.
+    pub fn tx_gbps(&self, node: NodeId) -> f64 {
+        self.hcas[node as usize].tx_meter.gbps(self.queue.now())
+    }
+
+    /// Sum of all nodes' receive rates (total network throughput).
+    pub fn total_rx_gbps(&self) -> f64 {
+        (0..self.hcas.len() as u32).map(|n| self.rx_gbps(n)).sum()
+    }
+
+    /// Merged end-to-end latency histogram (picoseconds) over all
+    /// deliveries — window-independent (records since simulation start).
+    pub fn latency_histogram(&self) -> ibsim_engine::Histogram {
+        let mut h = ibsim_engine::Histogram::new();
+        for hca in &self.hcas {
+            h.merge(&hca.latency);
+        }
+        h
+    }
+
+    /// Total FECN marks applied across all switches.
+    pub fn total_fecn_marks(&self) -> u64 {
+        self.switches.iter().map(|s| s.marked_packets()).sum()
+    }
+
+    /// Total BECNs (CNPs) received across all HCAs.
+    pub fn total_becns(&self) -> u64 {
+        self.hcas.iter().map(|h| h.cc.becns_received()).sum()
+    }
+
+    /// Highest CCTI across all HCAs right now.
+    pub fn max_ccti(&self) -> u16 {
+        self.hcas.iter().map(|h| h.cc.max_ccti()).max().unwrap_or(0)
+    }
+
+    pub fn total_injected_packets(&self) -> u64 {
+        self.hcas.iter().map(|h| h.injected_packets).sum()
+    }
+    pub fn total_delivered_packets(&self) -> u64 {
+        self.hcas.iter().map(|h| h.delivered_packets).sum()
+    }
+
+    // ---- event dispatch ---------------------------------------------------
+
+    fn dispatch(&mut self, now: Time, ev: Event) {
+        match ev {
+            Event::SwArrive { ch, pkt } => self.on_sw_arrive(now, ch, pkt),
+            Event::HcaArrive { ch, pkt } => self.on_hca_arrive(now, ch, pkt),
+            Event::SwTxDone { sw, port } | Event::SwTryArb { sw, port } => {
+                self.sw_arbitrate(now, sw, port)
+            }
+            Event::SwCredit {
+                sw,
+                port,
+                vl,
+                blocks,
+            } => {
+                self.switches[sw as usize].add_credits(port, vl, blocks);
+                self.sw_arbitrate(now, sw, port);
+            }
+            Event::HcaTxDone { hca } => self.hca_try_send(now, hca),
+            Event::HcaTrySend { hca } => {
+                self.hcas[hca as usize].wakeup_at = Time::MAX;
+                self.hca_try_send(now, hca);
+            }
+            Event::HcaCredit { hca, vl, blocks } => {
+                self.hcas[hca as usize].credits[vl as usize] += blocks;
+                self.hca_try_send(now, hca);
+            }
+            Event::SinkDone { hca } => self.on_sink_done(now, hca),
+            Event::CctiTick { hca } => {
+                let h = &mut self.hcas[hca as usize];
+                h.cc.on_timer();
+                if let Some(p) = &self.cc_params {
+                    self.queue.schedule(
+                        now + TimeDelta(p.timer_period_ps()),
+                        Event::CctiTick { hca },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Packet head arrives at a switch ingress: route, buffer, and
+    /// trigger arbitration once the routing pipeline is done.
+    fn on_sw_arrive(&mut self, now: Time, ch: u32, pkt: Packet) {
+        let channel = self.channels[ch as usize];
+        let (Dev::Switch(si), in_port) = channel.to else {
+            unreachable!("SwArrive on a non-switch endpoint")
+        };
+        self.trace(
+            now,
+            &pkt,
+            TracePoint::SwitchArrive {
+                switch: si,
+                in_port,
+            },
+        );
+        let sw = &mut self.switches[si as usize];
+        let out = sw.route(pkt.dst);
+        let ready_at = now + self.cfg.switch_latency;
+        let busy_until = sw.ports[out as usize].busy_until;
+        sw.enqueue(in_port, out, Desc { pkt, ready_at });
+        // If the transmitter will still be busy at ready time, the
+        // pending SwTxDone re-arbitrates; otherwise schedule a trigger.
+        if busy_until <= ready_at {
+            self.queue
+                .schedule(ready_at, Event::SwTryArb { sw: si, port: out });
+        }
+    }
+
+    /// Run one arbitration round on a switch output and wire up the
+    /// consequences of a grant.
+    fn sw_arbitrate(&mut self, now: Time, si: u32, port: u16) {
+        let link_bw = self.cfg.link_bw;
+        let grant = {
+            let sw = &mut self.switches[si as usize];
+            sw.arbitrate(
+                port,
+                now,
+                |b| link_bw.tx_time(b as u64),
+                self.cc_params.as_deref(),
+            )
+        };
+        let Some(Grant {
+            pkt,
+            in_port,
+            blocks,
+            ser,
+        }) = grant
+        else {
+            return;
+        };
+        self.trace(
+            now,
+            &pkt,
+            TracePoint::Forward {
+                switch: si,
+                out_port: port,
+                fecn: pkt.fecn,
+            },
+        );
+        let vl = pkt.vl;
+
+        // Transmitter done → next arbitration.
+        self.queue
+            .schedule(now + ser, Event::SwTxDone { sw: si, port });
+
+        // Hand the packet to the peer.
+        let out_ch = self.switches[si as usize].ports[port as usize]
+            .out_channel
+            .expect("grant on uncabled port");
+        let channel = self.channels[out_ch as usize];
+        match channel.to.0 {
+            Dev::Switch(_) => self
+                .queue
+                .schedule(now + channel.delay, Event::SwArrive { ch: out_ch, pkt }),
+            Dev::Hca(_) => self.queue.schedule(
+                now + channel.delay + ser,
+                Event::HcaArrive { ch: out_ch, pkt },
+            ),
+        }
+
+        // Return credits upstream once the tail has left this ibuf.
+        let in_ch = self.switches[si as usize].ports[in_port as usize]
+            .in_channel
+            .expect("packet arrived on uncabled port");
+        let rev = self.channels[self.channels[in_ch as usize].reverse as usize];
+        let at = now + ser + rev.delay + self.cfg.credit_latency;
+        match self.channels[in_ch as usize].from {
+            (Dev::Switch(up), up_port) => self.queue.schedule(
+                at,
+                Event::SwCredit {
+                    sw: up,
+                    port: up_port,
+                    vl,
+                    blocks,
+                },
+            ),
+            (Dev::Hca(h), _) => self
+                .queue
+                .schedule(at, Event::HcaCredit { hca: h, vl, blocks }),
+        }
+    }
+
+    /// Ask an HCA's injector for work and wire up a sent packet.
+    fn hca_try_send(&mut self, now: Time, hi: u32) {
+        let num_nodes = self.hcas.len() as u32;
+        let cfg = self.cfg.clone();
+        let cc_on = self.cc_params.is_some();
+        let h = &mut self.hcas[hi as usize];
+        match h.next_packet(now, num_nodes, &cfg, cc_on) {
+            NextSend::Packet(pkt) => {
+                let ser = h.note_sent(&pkt, now, &cfg, cc_on);
+                let out_ch = h.out_channel;
+                let busy_until = h.busy_until;
+                self.trace(now, &pkt, TracePoint::Inject);
+                let channel = self.channels[out_ch as usize];
+                self.queue
+                    .schedule(busy_until, Event::HcaTxDone { hca: hi });
+                match channel.to.0 {
+                    Dev::Switch(_) => self
+                        .queue
+                        .schedule(now + channel.delay, Event::SwArrive { ch: out_ch, pkt }),
+                    Dev::Hca(_) => self.queue.schedule(
+                        now + channel.delay + ser,
+                        Event::HcaArrive { ch: out_ch, pkt },
+                    ),
+                }
+            }
+            NextSend::WaitUntil(t) => self.schedule_hca_wakeup(hi, t),
+            NextSend::Idle => {}
+        }
+    }
+
+    /// Schedule (or keep) the earliest injector wakeup for `hi`.
+    fn schedule_hca_wakeup(&mut self, hi: u32, t: Time) {
+        let h = &mut self.hcas[hi as usize];
+        if t < h.wakeup_at && t != Time::MAX {
+            h.wakeup_at = t;
+            self.queue.schedule(t, Event::HcaTrySend { hca: hi });
+        }
+    }
+
+    /// Give an HCA's injector a chance to run "now" (used after
+    /// external state changes such as hotspot retargeting).
+    fn nudge_hca(&mut self, node: NodeId) {
+        if self.primed {
+            let now = self.queue.now();
+            self.schedule_hca_wakeup(node, now);
+        }
+    }
+
+    /// Packet tail fully arrived at an HCA.
+    fn on_hca_arrive(&mut self, now: Time, ch: u32, pkt: Packet) {
+        let channel = self.channels[ch as usize];
+        let (Dev::Hca(hi), _) = channel.to else {
+            unreachable!("HcaArrive on a non-HCA endpoint")
+        };
+        let cc_on = self.cc_params.is_some();
+        self.trace(now, &pkt, TracePoint::Arrive);
+        let had_cnp_work;
+        let start;
+        {
+            let h = &mut self.hcas[hi as usize];
+            let before = h.pending_cnps();
+            h.receive(pkt, cc_on);
+            had_cnp_work = h.pending_cnps() > before;
+            start = h.start_drain(&self.cfg);
+        }
+        if let Some(dt) = start {
+            self.queue.schedule(now + dt, Event::SinkDone { hca: hi });
+        }
+        if had_cnp_work {
+            // CNPs preempt the injector queue; try to send immediately.
+            self.schedule_hca_wakeup(hi, now);
+        }
+    }
+
+    /// Sink finished one packet: release credits upstream, deliver, and
+    /// start the next drain.
+    fn on_sink_done(&mut self, now: Time, hi: u32) {
+        let cc_on = self.cc_params.is_some();
+        let (pkt, next) = {
+            let h = &mut self.hcas[hi as usize];
+            let pkt = h.finish_drain(now, cc_on);
+            let next = h.start_drain(&self.cfg);
+            (pkt, next)
+        };
+        self.trace(now, &pkt, TracePoint::Deliver);
+        if let Some(dt) = next {
+            self.queue.schedule(now + dt, Event::SinkDone { hca: hi });
+        }
+        // Credits back to the upstream switch output.
+        let in_ch = self.hcas[hi as usize].in_channel;
+        let rev = self.channels[self.channels[in_ch as usize].reverse as usize];
+        let at = now + rev.delay + self.cfg.credit_latency;
+        match self.channels[in_ch as usize].from {
+            (Dev::Switch(up), up_port) => self.queue.schedule(
+                at,
+                Event::SwCredit {
+                    sw: up,
+                    port: up_port,
+                    vl: pkt.vl,
+                    blocks: pkt.blocks(),
+                },
+            ),
+            (Dev::Hca(_), _) => unreachable!("HCA fed directly by an HCA"),
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The crossbar switch model: per-port input buffers with virtual output
+//! queueing, round-robin output arbitration over (input, VL) pairs,
+//! credit-based egress, virtual cut-through timing, and the switch side
+//! of congestion control.
+//!
+//! This plays the role of the `Switch`/`SwitchPort` compound modules
+//! (`ibuf`, `obuf`, `vlarb`, `ccmgr`) of the paper's OMNeT++ model.
+
+use crate::types::{Packet, Vl};
+use crate::vlarb::{VlArbTable, VlArbiter};
+use ibsim_cc::{CcParams, PortVlCongestion};
+use ibsim_engine::time::{Time, TimeDelta};
+use std::collections::VecDeque;
+
+/// A queued packet descriptor: eligible for arbitration at `ready_at`
+/// (head arrival + routing latency; cut-through, not store-and-forward).
+#[derive(Clone, Debug)]
+pub struct Desc {
+    pub pkt: Packet,
+    pub ready_at: Time,
+}
+
+/// Per-port state. The input side owns the virtual output queues; the
+/// output side owns the downstream credit counters, the transmitter and
+/// the congestion detectors.
+#[derive(Clone, Debug)]
+pub struct SwPort {
+    /// Channel arriving at this port (None if uncabled).
+    pub in_channel: Option<u32>,
+    /// Channel leaving this port (None if uncabled).
+    pub out_channel: Option<u32>,
+    /// `voq[out_port * n_vls + vl]` — packets buffered at *this input*
+    /// waiting for `out_port`.
+    voq: Vec<VecDeque<Desc>>,
+    /// Transmitter occupied until this instant.
+    pub busy_until: Time,
+    /// Flow-control credits (64-byte blocks) available at the
+    /// downstream input buffer, per VL.
+    pub credits: Vec<u32>,
+    /// VL arbitration state for this port as an output.
+    varb: VlArbiter,
+    /// Per-VL round-robin cursor over input ports.
+    rr_in: Vec<usize>,
+    /// Congestion detectors, per VL, for this port as an *output*.
+    pub cong: Vec<PortVlCongestion>,
+    // ---- statistics ----------------------------------------------------
+    pub forwarded_packets: u64,
+    pub forwarded_bytes: u64,
+}
+
+/// The decision produced by one successful arbitration round.
+#[derive(Debug)]
+pub struct Grant {
+    pub pkt: Packet,
+    pub in_port: u16,
+    pub blocks: u32,
+    /// Serialisation time on the output link.
+    pub ser: TimeDelta,
+}
+
+/// A `radix`-port InfiniBand crossbar.
+#[derive(Clone, Debug)]
+pub struct Switch {
+    pub ports: Vec<SwPort>,
+    /// Linear forwarding table: destination LID → output port.
+    pub lft: Vec<u16>,
+    n_vls: u8,
+}
+
+impl Switch {
+    pub fn new(radix: usize, n_vls: u8, lft: Vec<u16>) -> Self {
+        Self::with_arbitration(radix, n_vls, lft, VlArbTable::round_robin(n_vls))
+    }
+
+    /// Build with an explicit VL arbitration table.
+    pub fn with_arbitration(radix: usize, n_vls: u8, lft: Vec<u16>, arb: VlArbTable) -> Self {
+        let nv = n_vls as usize;
+        let ports = (0..radix)
+            .map(|_| SwPort {
+                in_channel: None,
+                out_channel: None,
+                voq: (0..radix * nv).map(|_| VecDeque::new()).collect(),
+                busy_until: Time::ZERO,
+                credits: vec![0; nv],
+                varb: VlArbiter::new(arb.clone()),
+                rr_in: vec![0; nv],
+                cong: (0..nv).map(|_| PortVlCongestion::disabled()).collect(),
+                forwarded_packets: 0,
+                forwarded_bytes: 0,
+            })
+            .collect();
+        Switch { ports, lft, n_vls }
+    }
+
+    pub fn radix(&self) -> usize {
+        self.ports.len()
+    }
+    pub fn n_vls(&self) -> u8 {
+        self.n_vls
+    }
+
+    /// Output port toward `dst`.
+    #[inline]
+    pub fn route(&self, dst: u32) -> u16 {
+        self.lft[dst as usize]
+    }
+
+    /// Install congestion detectors (CC on) for every cabled output.
+    pub fn install_cc(&mut self, params: &CcParams, detect_capacity: u64, victim_ports: &[bool]) {
+        for (p, port) in self.ports.iter_mut().enumerate() {
+            if port.out_channel.is_some() {
+                let vm = victim_ports.get(p).copied().unwrap_or(false);
+                port.cong = (0..self.n_vls as usize)
+                    .map(|_| PortVlCongestion::new(params, detect_capacity, vm))
+                    .collect();
+            }
+        }
+    }
+
+    /// Buffer an arriving packet (head at `now`) at `in_port`, routed to
+    /// `out_port`; it becomes arbitrable at `ready_at`.
+    pub fn enqueue(&mut self, in_port: u16, out_port: u16, desc: Desc) {
+        let vl = desc.pkt.vl as usize;
+        let bytes = desc.pkt.bytes as u64;
+        let has_credits = self.ports[out_port as usize].credits[vl] > 0;
+        self.ports[out_port as usize].cong[vl].on_enqueue(bytes, has_credits);
+        let nv = self.n_vls as usize;
+        self.ports[in_port as usize].voq[out_port as usize * nv + vl].push_back(desc);
+    }
+
+    /// Total packets queued toward `out_port` across all inputs and VLs
+    /// (diagnostics).
+    pub fn queued_toward(&self, out_port: u16) -> usize {
+        let nv = self.n_vls as usize;
+        self.ports
+            .iter()
+            .map(|p| {
+                (0..nv)
+                    .map(|vl| p.voq[out_port as usize * nv + vl].len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// One arbitration round for `out_port` at `now`: the VL arbiter
+    /// picks a lane among those with an eligible head packet (past its
+    /// routing latency, whole-packet downstream credits available —
+    /// virtual cut-through needs whole-packet buffering), then inputs
+    /// are served round-robin within the lane.
+    ///
+    /// On success the packet is dequeued, credits are consumed, the
+    /// transmitter is marked busy and — with CC installed — the FECN
+    /// marking decision is applied. The caller handles event scheduling.
+    pub fn arbitrate(
+        &mut self,
+        out_port: u16,
+        now: Time,
+        link_tx: impl Fn(u32) -> TimeDelta,
+        cc: Option<&CcParams>,
+    ) -> Option<Grant> {
+        let o = out_port as usize;
+        let nv = self.n_vls as usize;
+        if self.ports[o].busy_until > now {
+            return None;
+        }
+        // Per-VL candidate: the first input (round robin from this
+        // VL's cursor) whose head packet is past its routing latency,
+        // with whole-packet downstream credits available.
+        let mut sizes = [None::<u32>; 16];
+        let mut cand_input = [0usize; 16];
+        let n_in = self.ports.len();
+        for vl in 0..nv {
+            let start = self.ports[o].rr_in[vl];
+            for k in 0..n_in {
+                let inp = (start + k) % n_in;
+                if let Some(head) = self.ports[inp].voq[o * nv + vl].front() {
+                    if head.ready_at <= now && self.ports[o].credits[vl] >= head.pkt.blocks() {
+                        sizes[vl] = Some(head.pkt.bytes);
+                        cand_input[vl] = inp;
+                        break;
+                    }
+                }
+            }
+        }
+        let vl = self.ports[o].varb.pick_sized(&sizes[..nv])? as usize;
+        let inp = cand_input[vl];
+        self.ports[o].rr_in[vl] = (inp + 1) % n_in;
+        let desc = self.ports[inp].voq[o * nv + vl].pop_front().unwrap();
+        let mut pkt = desc.pkt;
+        let blocks = pkt.blocks();
+        let bytes = pkt.bytes as u64;
+        let ser = link_tx(pkt.bytes);
+
+        let op = &mut self.ports[o];
+        // FECN decision uses the congestion state *including* this
+        // packet, then the occupancy drops.
+        if let Some(params) = cc {
+            if op.cong[vl].mark_decision(pkt.bytes, params) {
+                pkt.fecn = true;
+            }
+        }
+        op.credits[vl] -= blocks;
+        let has_credits = op.credits[vl] > 0;
+        op.cong[vl].on_dequeue(bytes, has_credits);
+        op.busy_until = now + ser;
+        op.forwarded_packets += 1;
+        op.forwarded_bytes += bytes;
+
+        Some(Grant {
+            pkt,
+            in_port: inp as u16,
+            blocks,
+            ser,
+        })
+    }
+
+    /// Credit update from downstream for `out_port`.
+    pub fn add_credits(&mut self, out_port: u16, vl: Vl, blocks: u32) {
+        let op = &mut self.ports[out_port as usize];
+        op.credits[vl as usize] += blocks;
+        let has = op.credits[vl as usize] > 0;
+        op.cong[vl as usize].on_credit_change(has);
+    }
+
+    /// Sum of FECN marks applied by this switch.
+    pub fn marked_packets(&self) -> u64 {
+        self.ports
+            .iter()
+            .flat_map(|p| p.cong.iter())
+            .map(|c| c.marked_packets())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PacketKind;
+    use ibsim_engine::time::Bandwidth;
+
+    const BW: Bandwidth = Bandwidth::from_gbps(20);
+
+    fn pkt(dst: u32, bytes: u32) -> Packet {
+        Packet {
+            src: 0,
+            dst,
+            bytes,
+            vl: 0,
+            sl: 0,
+            kind: PacketKind::Data { class: 0 },
+            fecn: false,
+            seq: 0,
+            injected_at: Time::ZERO,
+        }
+    }
+
+    fn desc(dst: u32, bytes: u32, ready: u64) -> Desc {
+        Desc {
+            pkt: pkt(dst, bytes),
+            ready_at: Time(ready),
+        }
+    }
+
+    /// 4-port switch, port i routes dst i, everything cabled.
+    fn sw() -> Switch {
+        let mut s = Switch::new(4, 1, vec![0, 1, 2, 3]);
+        for p in &mut s.ports {
+            p.in_channel = Some(0);
+            p.out_channel = Some(0);
+            p.credits = vec![128];
+        }
+        s
+    }
+
+    #[test]
+    fn grants_ready_packet() {
+        let mut s = sw();
+        s.enqueue(0, 1, desc(1, 2048, 0));
+        let g = s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .unwrap();
+        assert_eq!(g.in_port, 0);
+        assert_eq!(g.blocks, 32);
+        assert_eq!(g.ser, TimeDelta(819_200));
+        assert_eq!(s.ports[1].credits[0], 128 - 32);
+        assert_eq!(s.ports[1].busy_until, Time(819_200));
+        assert_eq!(s.ports[1].forwarded_packets, 1);
+    }
+
+    #[test]
+    fn respects_ready_time() {
+        let mut s = sw();
+        s.enqueue(0, 1, desc(1, 2048, 500));
+        assert!(s
+            .arbitrate(1, Time(499), |b| BW.tx_time(b as u64), None)
+            .is_none());
+        assert!(s
+            .arbitrate(1, Time(500), |b| BW.tx_time(b as u64), None)
+            .is_some());
+    }
+
+    #[test]
+    fn busy_output_grants_nothing() {
+        let mut s = sw();
+        s.enqueue(0, 1, desc(1, 2048, 0));
+        s.enqueue(2, 1, desc(1, 2048, 0));
+        assert!(s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .is_some());
+        assert!(s
+            .arbitrate(1, Time(1), |b| BW.tx_time(b as u64), None)
+            .is_none());
+        // After the transmitter frees up, the second packet goes.
+        assert!(s
+            .arbitrate(1, Time(819_200), |b| BW.tx_time(b as u64), None)
+            .is_some());
+    }
+
+    #[test]
+    fn requires_whole_packet_credits() {
+        let mut s = sw();
+        s.ports[1].credits[0] = 31; // one block short of a 2 KiB packet
+        s.enqueue(0, 1, desc(1, 2048, 0));
+        assert!(s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .is_none());
+        s.add_credits(1, 0, 1);
+        assert!(s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .is_some());
+        assert_eq!(s.ports[1].credits[0], 0);
+    }
+
+    #[test]
+    fn round_robin_across_inputs() {
+        let mut s = sw();
+        for inp in [0u16, 2, 3] {
+            s.enqueue(inp, 1, desc(1, 64, 0));
+            s.enqueue(inp, 1, desc(1, 64, 0));
+        }
+        let mut order = vec![];
+        let mut t = Time(0);
+        for _ in 0..6 {
+            let g = s.arbitrate(1, t, |b| BW.tx_time(b as u64), None).unwrap();
+            order.push(g.in_port);
+            t = s.ports[1].busy_until;
+        }
+        assert_eq!(order, [0, 2, 3, 0, 2, 3], "round robin interleaves inputs");
+    }
+
+    #[test]
+    fn per_flow_fifo_within_queue() {
+        let mut s = sw();
+        let mut d1 = desc(1, 64, 0);
+        d1.pkt.seq = 1;
+        let mut d2 = desc(1, 64, 0);
+        d2.pkt.seq = 2;
+        s.enqueue(0, 1, d1);
+        s.enqueue(0, 1, d2);
+        let g1 = s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .unwrap();
+        let g2 = s
+            .arbitrate(1, s.ports[1].busy_until, |b| BW.tx_time(b as u64), None)
+            .unwrap();
+        assert_eq!((g1.pkt.seq, g2.pkt.seq), (1, 2));
+    }
+
+    #[test]
+    fn fecn_marked_under_congestion() {
+        let mut s = sw();
+        let params = CcParams::paper_table1();
+        // Tiny detect capacity: threshold = max(16/16..) -> 1/16 of 1024 = 64.
+        s.install_cc(&params, 1024, &[false; 4]);
+        // Queue 2 packets toward port 1 -> 4096 bytes >> 64-byte threshold.
+        s.enqueue(0, 1, desc(1, 2048, 0));
+        s.enqueue(2, 1, desc(1, 2048, 0));
+        let g = s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), Some(&params))
+            .unwrap();
+        assert!(g.pkt.fecn, "root port above threshold marks");
+        assert_eq!(s.marked_packets(), 1);
+    }
+
+    #[test]
+    fn no_fecn_without_credits_unless_victim_masked() {
+        let params = CcParams::paper_table1();
+        // Victim (no credits, no mask): no marking.
+        let mut s = sw();
+        s.install_cc(&params, 1024, &[false; 4]);
+        s.ports[1].credits[0] = 32; // just enough to forward one packet
+        s.enqueue(0, 1, desc(1, 2048, 0));
+        s.enqueue(2, 1, desc(1, 2048, 0));
+        // After this grant the port has zero credits -> victim.
+        let g = s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), Some(&params))
+            .unwrap();
+        // First grant happened while credits were available: marks.
+        assert!(g.pkt.fecn);
+        // Second: no credits -> cannot even forward; and the detector
+        // has left/never entered congestion for marking purposes.
+        assert!(s
+            .arbitrate(
+                1,
+                s.ports[1].busy_until,
+                |b| BW.tx_time(b as u64),
+                Some(&params)
+            )
+            .is_none());
+
+        // Same situation with Victim_Mask: state is held even at zero
+        // credits, so when credits return the packet is marked.
+        let mut s = sw();
+        s.install_cc(&params, 1024, &[false, true, false, false]);
+        s.ports[1].credits[0] = 0;
+        s.enqueue(0, 1, desc(1, 2048, 0));
+        s.enqueue(2, 1, desc(1, 2048, 0));
+        assert!(
+            s.ports[1].cong[0].in_congestion(),
+            "masked port congests without credits"
+        );
+    }
+
+    #[test]
+    fn uncabled_ports_get_no_detectors() {
+        let mut s = Switch::new(4, 1, vec![0, 1, 2, 3]);
+        s.ports[0].out_channel = Some(0);
+        let params = CcParams::paper_table1();
+        s.install_cc(&params, 1024, &[false; 4]);
+        // Port 3 is uncabled; its detector stays disabled.
+        s.ports[3].cong[0].on_enqueue(1 << 20, true);
+        assert!(!s.ports[3].cong[0].in_congestion());
+    }
+
+    #[test]
+    fn queued_toward_counts_all_inputs() {
+        let mut s = sw();
+        s.enqueue(0, 2, desc(2, 64, 0));
+        s.enqueue(1, 2, desc(2, 64, 0));
+        s.enqueue(3, 2, desc(2, 64, 0));
+        assert_eq!(s.queued_toward(2), 3);
+        assert_eq!(s.queued_toward(1), 0);
+    }
+
+    #[test]
+    fn multi_vl_arbitration() {
+        let mut s = Switch::new(2, 2, vec![0, 1]);
+        for p in &mut s.ports {
+            p.in_channel = Some(0);
+            p.out_channel = Some(0);
+            p.credits = vec![128, 128];
+        }
+        let mut d0 = desc(1, 64, 0);
+        d0.pkt.vl = 0;
+        let mut d1 = desc(1, 64, 0);
+        d1.pkt.vl = 1;
+        s.enqueue(0, 1, d0);
+        s.enqueue(0, 1, d1);
+        let g1 = s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .unwrap();
+        let g2 = s
+            .arbitrate(1, s.ports[1].busy_until, |b| BW.tx_time(b as u64), None)
+            .unwrap();
+        let vls = [g1.pkt.vl, g2.pkt.vl];
+        assert!(vls.contains(&0) && vls.contains(&1), "both VLs served");
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based, whole-network invariants: the lossless fabric never
+//! loses, duplicates or reorders packets, and runs are deterministic —
+//! for randomly drawn topologies, workloads and CC settings.
+
+use ibsim_engine::time::Time;
+use ibsim_net::{DestPattern, NetConfig, Network, TrafficClass};
+use ibsim_topo::{single_switch, FatTreeSpec, Topology};
+use proptest::prelude::*;
+
+/// A small randomly-shaped workload: (src, dst, messages) triples.
+fn workload(nodes: usize) -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
+    prop::collection::vec((0..nodes as u32, 0..nodes as u32, 1u64..20), 1..12)
+}
+
+fn run_workload(
+    topo: &Topology,
+    cc: bool,
+    seed: u64,
+    wl: &[(u32, u32, u64)],
+) -> (u64, u64, u64, Vec<u64>) {
+    let cfg = if cc {
+        NetConfig::paper()
+    } else {
+        NetConfig::paper_no_cc()
+    };
+    let mut net = Network::new(topo, cfg.with_seed(seed));
+    // Group messages per source into classes.
+    let mut per_src: std::collections::HashMap<u32, Vec<TrafficClass>> = Default::default();
+    for &(src, dst, msgs) in wl {
+        let dst = if dst == src {
+            (dst + 1) % topo.num_hcas as u32
+        } else {
+            dst
+        };
+        per_src
+            .entry(src)
+            .or_default()
+            .push(TrafficClass::new(100, DestPattern::Fixed(dst), 4096).with_max_messages(msgs));
+    }
+    for (src, classes) in per_src {
+        net.set_classes(src, classes);
+    }
+    net.run_to_idle(50_000_000);
+    let cnps: u64 = net.hcas.iter().map(|h| h.cnps_delivered).sum();
+    let per_node: Vec<u64> = net.hcas.iter().map(|h| h.delivered_packets).collect();
+    (
+        net.total_injected_packets(),
+        net.total_delivered_packets(),
+        cnps,
+        per_node,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation on the 8-node fat tree: every injected data packet
+    /// is delivered exactly once (plus CNP accounting), with or
+    /// without CC, for arbitrary workloads. Per-flow ordering is
+    /// enforced by debug assertions inside the sink.
+    #[test]
+    fn fat_tree_conserves_packets(wl in workload(8), cc: bool, seed: u64) {
+        let topo = FatTreeSpec::TEST_8.build();
+        let (injected, delivered, cnps, _) = run_workload(&topo, cc, seed, &wl);
+        let expect_data: u64 = {
+            // Each (src,dst,msgs) class sends msgs * 2 packets of 2 KiB.
+            let mut n = 0;
+            for &(_, _, msgs) in &wl {
+                n += msgs * 2;
+            }
+            n
+        };
+        prop_assert_eq!(delivered, expect_data);
+        prop_assert_eq!(injected, delivered + cnps);
+        if !cc {
+            prop_assert_eq!(cnps, 0);
+        }
+    }
+
+    /// Same on a single switch (different arbitration geometry).
+    #[test]
+    fn single_switch_conserves_packets(wl in workload(6), cc: bool, seed: u64) {
+        let topo = single_switch(8, 6);
+        let (injected, delivered, cnps, _) = run_workload(&topo, cc, seed, &wl);
+        prop_assert_eq!(injected, delivered + cnps);
+    }
+
+    /// Determinism: identical seeds give identical outcomes, event for
+    /// event, on arbitrary workloads.
+    #[test]
+    fn runs_are_deterministic(wl in workload(8), cc: bool, seed: u64) {
+        let topo = FatTreeSpec::TEST_8.build();
+        let a = run_workload(&topo, cc, seed, &wl);
+        let b = run_workload(&topo, cc, seed, &wl);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Budget fractions are respected: a p% class never exceeds p% of
+    /// capacity over the run (checked through delivered volume).
+    #[test]
+    fn budgets_respected(p in 1u32..100, seed: u64) {
+        let topo = single_switch(4, 2);
+        let mut net = Network::new(&topo, NetConfig::paper().with_seed(seed));
+        net.set_classes(0, vec![TrafficClass::new(p, DestPattern::Fixed(1), 4096)]);
+        let horizon = Time::from_ms(2);
+        net.run_until(horizon);
+        let sent = net.hcas[0].classes[0].sent_bytes();
+        let cap = net.cfg.inj_rate.bytes_in(horizon - Time::ZERO);
+        // Allow one message of slack for the committed-head rule.
+        prop_assert!(
+            sent <= cap * p as u64 / 100 + 4096,
+            "class sent {sent} of cap {cap} at p={p}"
+        );
+    }
+
+    /// CC is safe: on the victim topology, enabling CC never reduces
+    /// total delivered volume by more than a small tolerance, for any
+    /// seed. (It usually increases it dramatically.)
+    #[test]
+    fn cc_never_catastrophic(seed: u64) {
+        let topo = FatTreeSpec::TEST_8.build();
+        let run = |cc: bool| {
+            let cfg = if cc { NetConfig::paper() } else { NetConfig::paper_no_cc() };
+            let mut net = Network::new(&topo, cfg.with_seed(seed));
+            for n in [2u32, 3, 4, 5, 7] {
+                net.set_classes(n, vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)]);
+            }
+            net.set_classes(6, vec![TrafficClass::new(100, DestPattern::Fixed(2), 4096)]);
+            net.run_until(Time::from_ms(3));
+            net.total_delivered_packets()
+        };
+        let without = run(false);
+        let with = run(true);
+        prop_assert!(
+            with as f64 > without as f64 * 0.9,
+            "CC lost throughput: {without} -> {with}"
+        );
+    }
+}
+
+mod vlarb_props {
+    use ibsim_net::{VlArbTable, VlArbiter, VlWeight};
+    use proptest::prelude::*;
+
+    /// Strategy: a valid arbitration table over `n` VLs.
+    fn arb_table(n_vls: u8) -> impl Strategy<Value = VlArbTable> {
+        let entry = (0..n_vls, 1u8..=255).prop_map(|(vl, weight)| VlWeight { vl, weight });
+        (
+            prop::collection::vec(entry.clone(), 0..4),
+            prop::collection::vec(entry, 1..6),
+            0u8..8,
+        )
+            .prop_map(move |(high, mut low, limit)| {
+                // Guarantee every VL is servable from the low table.
+                for vl in 0..n_vls {
+                    if !low.iter().chain(&high).any(|e| e.vl == vl) {
+                        low.push(VlWeight { vl, weight: 16 });
+                    }
+                }
+                VlArbTable {
+                    high,
+                    low,
+                    limit_of_high_priority: limit,
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The arbiter never picks an ineligible VL and never stalls
+        /// while something is eligible.
+        #[test]
+        fn arbiter_is_sound(table in arb_table(4), picks in 1usize..200, mask in 1u8..16) {
+            prop_assert!(table.validate(4).is_ok(), "{:?}", table.validate(4));
+            let mut a = VlArbiter::new(table);
+            let eligible = |vl: u8| mask & (1 << vl) != 0;
+            for _ in 0..picks {
+                let vl = a.pick(eligible, 2048);
+                let vl = vl.expect("eligible work must be served");
+                prop_assert!(eligible(vl), "picked ineligible VL {vl}");
+            }
+        }
+
+        /// With nothing eligible the arbiter returns None and recovers
+        /// afterwards.
+        #[test]
+        fn arbiter_handles_idle(table in arb_table(3)) {
+            let mut a = VlArbiter::new(table);
+            prop_assert_eq!(a.pick(|_| false, 64), None);
+            prop_assert!(a.pick(|_| true, 64).is_some());
+        }
+
+        /// Weighted low-priority shares approximate the weight ratio
+        /// for two always-eligible lanes.
+        #[test]
+        fn weights_respected(w0 in 1u8..=255, w1 in 1u8..=255) {
+            let table = VlArbTable {
+                high: vec![],
+                low: vec![
+                    VlWeight { vl: 0, weight: w0 },
+                    VlWeight { vl: 1, weight: w1 },
+                ],
+                limit_of_high_priority: 0,
+            };
+            let mut a = VlArbiter::new(table);
+            let mut served = [0u64; 2];
+            // Serve in 64-byte quanta so weights resolve exactly.
+            for _ in 0..((w0 as u64 + w1 as u64) * 8) {
+                let vl = a.pick(|_| true, 64).unwrap();
+                served[vl as usize] += 1;
+            }
+            let expect = w0 as f64 / w1 as f64;
+            let got = served[0] as f64 / served[1] as f64;
+            prop_assert!(
+                (got / expect - 1.0).abs() < 0.3,
+                "w {w0}:{w1} served {served:?}"
+            );
+        }
+    }
+}

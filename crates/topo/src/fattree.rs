@@ -1,0 +1,241 @@
+//! Two-level folded-Clos fat trees ("three-stage fat-tree" in switch-chip
+//! terms), including the exact Sun Datacenter InfiniBand Switch 648
+//! instance the paper simulates: 36-port crossbars, 36 leaf chips with 18
+//! end nodes and 18 uplinks each, 18 spine chips — 54 chips, 648 nodes,
+//! non-blocking.
+//!
+//! Routing is deterministic destination-mod-k ("d-mod-k") up/down: a leaf
+//! forwards traffic for a non-local destination to spine `dst % spines`,
+//! which spreads the uplink load uniformly and is the standard LFT layout
+//! for such fabrics.
+
+use crate::graph::{Endpoint, LinkSpec, SwitchSpec, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a two-level folded Clos.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FatTreeSpec {
+    /// Crossbar radix (ports per switch chip). Must be even and ≥ 2.
+    pub radix: usize,
+    /// Number of leaf switches; each serves `radix/2` end nodes.
+    /// Must satisfy `1 ≤ leafs ≤ radix` (spine port budget).
+    pub leafs: usize,
+}
+
+impl FatTreeSpec {
+    /// The paper's topology: Sun DCS 648 (radix 36, 36 leafs).
+    pub const PAPER_648: FatTreeSpec = FatTreeSpec {
+        radix: 36,
+        leafs: 36,
+    };
+
+    /// A scaled-down instance with identical structure for fast runs:
+    /// radix 12, 12 leafs → 72 nodes, 6 spines, 18 switches.
+    pub const QUICK_72: FatTreeSpec = FatTreeSpec {
+        radix: 12,
+        leafs: 12,
+    };
+
+    /// An even smaller instance for unit tests: radix 4, 4 leafs →
+    /// 8 nodes, 2 spines.
+    pub const TEST_8: FatTreeSpec = FatTreeSpec { radix: 4, leafs: 4 };
+
+    pub fn hosts_per_leaf(&self) -> usize {
+        self.radix / 2
+    }
+    pub fn spines(&self) -> usize {
+        self.radix / 2
+    }
+    pub fn num_hosts(&self) -> usize {
+        self.leafs * self.hosts_per_leaf()
+    }
+    pub fn num_switches(&self) -> usize {
+        self.leafs + self.spines()
+    }
+
+    /// Leaf switch serving end node `h`.
+    pub fn leaf_of(&self, h: usize) -> usize {
+        h / self.hosts_per_leaf()
+    }
+
+    fn check(&self) {
+        assert!(
+            self.radix >= 2 && self.radix.is_multiple_of(2),
+            "radix must be even ≥ 2"
+        );
+        assert!(
+            (1..=self.radix).contains(&self.leafs),
+            "leafs must be in 1..=radix (spine port budget)"
+        );
+    }
+
+    /// Build the topology with forwarding tables.
+    ///
+    /// Switch numbering: leafs `0..leafs`, then spines
+    /// `leafs..leafs+spines`. Leaf port layout: ports `0..radix/2` go
+    /// down to hosts, ports `radix/2..radix` go up to spines (port
+    /// `radix/2 + s` to spine `s`). Spine `s` port `l` goes down to leaf
+    /// `l`.
+    pub fn build(&self) -> Topology {
+        self.check();
+        let hpl = self.hosts_per_leaf();
+        let spines = self.spines();
+        let hosts = self.num_hosts();
+        let mut switches = Vec::with_capacity(self.num_switches());
+        for _ in 0..self.num_switches() {
+            switches.push(SwitchSpec { ports: self.radix });
+        }
+
+        let mut links = Vec::new();
+        // Host <-> leaf cables.
+        for h in 0..hosts {
+            links.push(LinkSpec {
+                a: Endpoint::Hca(h),
+                b: Endpoint::SwitchPort {
+                    switch: self.leaf_of(h),
+                    port: h % hpl,
+                },
+            });
+        }
+        // Leaf <-> spine cables.
+        for l in 0..self.leafs {
+            for s in 0..spines {
+                links.push(LinkSpec {
+                    a: Endpoint::SwitchPort {
+                        switch: l,
+                        port: hpl + s,
+                    },
+                    b: Endpoint::SwitchPort {
+                        switch: self.leafs + s,
+                        port: l,
+                    },
+                });
+            }
+        }
+
+        // LFTs: d-mod-k up/down routing.
+        let mut lfts = Vec::with_capacity(self.num_switches());
+        for l in 0..self.leafs {
+            let mut lft = Vec::with_capacity(hosts);
+            for dst in 0..hosts {
+                if self.leaf_of(dst) == l {
+                    lft.push((dst % hpl) as u16); // down to the host
+                } else {
+                    lft.push((hpl + dst % spines) as u16); // up to spine dst%k
+                }
+            }
+            lfts.push(lft);
+        }
+        for _s in 0..spines {
+            let mut lft = Vec::with_capacity(hosts);
+            for dst in 0..hosts {
+                lft.push(self.leaf_of(dst) as u16); // down to the dst's leaf
+            }
+            lfts.push(lft);
+        }
+
+        Topology {
+            name: format!("fat-tree(radix={}, leafs={})", self.radix, self.leafs),
+            num_hcas: hosts,
+            switches,
+            links,
+            lfts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_dimensions() {
+        let s = FatTreeSpec::PAPER_648;
+        assert_eq!(s.num_hosts(), 648);
+        assert_eq!(s.spines(), 18);
+        assert_eq!(s.num_switches(), 54);
+        assert_eq!(s.hosts_per_leaf(), 18);
+    }
+
+    #[test]
+    fn test8_is_fully_valid() {
+        let t = FatTreeSpec::TEST_8.build();
+        t.validate().unwrap();
+        assert_eq!(t.num_hcas, 8);
+        assert_eq!(t.switches.len(), 6);
+    }
+
+    #[test]
+    fn quick72_is_fully_valid() {
+        let t = FatTreeSpec::QUICK_72.build();
+        t.validate().unwrap();
+        assert_eq!(t.num_hcas, 72);
+        assert_eq!(t.switches.len(), 18);
+    }
+
+    #[test]
+    fn hop_counts_are_one_or_three() {
+        let spec = FatTreeSpec::TEST_8;
+        let t = spec.build();
+        for src in 0..t.num_hcas {
+            for dst in 0..t.num_hcas {
+                if src == dst {
+                    continue;
+                }
+                let hops = t.hop_count(src, dst).unwrap();
+                if spec.leaf_of(src) == spec.leaf_of(dst) {
+                    assert_eq!(hops, 1, "{src}->{dst} same leaf");
+                } else {
+                    assert_eq!(hops, 3, "{src}->{dst} leaf-spine-leaf");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dmodk_spreads_uplinks_uniformly() {
+        let spec = FatTreeSpec { radix: 8, leafs: 8 };
+        let t = spec.build();
+        // From leaf 0, destinations on other leafs use spine dst % 4.
+        let mut per_spine = [0usize; 4];
+        for dst in spec.hosts_per_leaf()..spec.num_hosts() {
+            let port = t.lfts[0][dst] as usize;
+            assert!(port >= spec.hosts_per_leaf());
+            per_spine[port - spec.hosts_per_leaf()] += 1;
+        }
+        let total: usize = per_spine.iter().sum();
+        for &c in &per_spine {
+            assert_eq!(c, total / 4, "uniform spread: {per_spine:?}");
+        }
+    }
+
+    #[test]
+    fn leaf_of_matches_attachment() {
+        let spec = FatTreeSpec::QUICK_72;
+        let t = spec.build();
+        for h in 0..spec.num_hosts() {
+            let (sw, _) = t.hca_attachment(h).unwrap();
+            assert_eq!(sw, spec.leaf_of(h));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_radix_rejected() {
+        FatTreeSpec { radix: 5, leafs: 2 }.build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_leafs_rejected() {
+        FatTreeSpec { radix: 4, leafs: 5 }.build();
+    }
+
+    #[test]
+    fn paper_648_validates() {
+        // The full 648-node instance: exhaustive validation covers all
+        // 648*647 routes; this is the paper topology, worth the ~1 s.
+        let t = FatTreeSpec::PAPER_648.build();
+        t.validate().unwrap();
+    }
+}

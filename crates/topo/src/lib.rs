@@ -1,0 +1,29 @@
+//! # ibsim-topo
+//!
+//! Topology construction and deterministic routing for the InfiniBand
+//! CC simulation suite: pure network *descriptions* (devices, cables,
+//! linear forwarding tables) that `ibsim-net` instantiates.
+//!
+//! * [`fattree::FatTreeSpec`] — two-level folded Clos ("three-stage
+//!   fat-tree"), including the paper's 648-node Sun DCS 648 instance
+//!   ([`fattree::FatTreeSpec::PAPER_648`]) and scaled versions.
+//! * [`fattree3::FatTree3Spec`] — three-level folded Clos, for the
+//!   conclusion's "other multistage topologies" conjecture.
+//! * [`single::single_switch`] — one crossbar, for endpoint-congestion
+//!   unit studies.
+//! * [`torus::TorusSpec`] — 2-D mesh/torus with dimension-order routing,
+//!   the paper's stated future-work topologies.
+//! * [`graph::Topology::validate`] — exhaustive structural + routing
+//!   validation (every LFT entry, every pair reachable, loop-free).
+
+pub mod fattree;
+pub mod fattree3;
+pub mod graph;
+pub mod single;
+pub mod torus;
+
+pub use fattree::FatTreeSpec;
+pub use fattree3::FatTree3Spec;
+pub use graph::{Endpoint, LinkSpec, RoutingIndex, SwitchSpec, Topology, NO_ROUTE};
+pub use single::single_switch;
+pub use torus::TorusSpec;

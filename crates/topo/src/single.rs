@@ -1,0 +1,51 @@
+//! A single crossbar switch with `n` end nodes — the smallest topology
+//! that exhibits endpoint congestion (the "parking lot" setup of the
+//! authors' 2010 hardware study) and the workhorse of the unit tests.
+
+use crate::graph::{Endpoint, LinkSpec, SwitchSpec, Topology};
+
+/// Build a single `ports`-port switch with `hosts` end nodes attached to
+/// ports `0..hosts`. Panics if `hosts > ports` or `hosts < 1`.
+pub fn single_switch(ports: usize, hosts: usize) -> Topology {
+    assert!(hosts >= 1, "need at least one host");
+    assert!(hosts <= ports, "more hosts than ports");
+    let links = (0..hosts)
+        .map(|h| LinkSpec {
+            a: Endpoint::Hca(h),
+            b: Endpoint::SwitchPort { switch: 0, port: h },
+        })
+        .collect();
+    let lft = (0..hosts).map(|h| h as u16).collect();
+    Topology {
+        name: format!("single-switch({ports}p, {hosts}h)"),
+        num_hcas: hosts,
+        switches: vec![SwitchSpec { ports }],
+        links,
+        lfts: vec![lft],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let t = single_switch(36, 8);
+        t.validate().unwrap();
+        assert_eq!(t.num_hcas, 8);
+        assert_eq!(t.hop_count(0, 7), Some(1));
+    }
+
+    #[test]
+    fn full_radix() {
+        let t = single_switch(4, 4);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_hosts_panics() {
+        single_switch(4, 5);
+    }
+}

@@ -1,0 +1,288 @@
+//! 2-D mesh and torus topologies with dimension-order (X-then-Y) routing.
+//!
+//! The paper's conclusion singles out Tori and Meshes as the open
+//! question ("Regarding Tori or Meshes, the picture is more unclear, thus
+//! this question should form the basis for further research"). These
+//! builders make that follow-up experiment runnable with the same CC
+//! stack; an extension experiment in the suite exercises them.
+//!
+//! Each switch carries `hosts_per_switch` end nodes. Port layout per
+//! switch: `0..hosts_per_switch` face hosts, then +X, −X, +Y, −Y (mesh
+//! edge switches leave absent directions uncabled).
+
+use crate::graph::{Endpoint, LinkSpec, SwitchSpec, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a 2-D mesh or torus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TorusSpec {
+    pub xdim: usize,
+    pub ydim: usize,
+    pub hosts_per_switch: usize,
+    /// Wraparound links (torus) or not (mesh).
+    pub wrap: bool,
+}
+
+impl TorusSpec {
+    pub fn num_hosts(&self) -> usize {
+        self.xdim * self.ydim * self.hosts_per_switch
+    }
+    pub fn num_switches(&self) -> usize {
+        self.xdim * self.ydim
+    }
+    fn sw(&self, x: usize, y: usize) -> usize {
+        y * self.xdim + x
+    }
+    fn coords(&self, sw: usize) -> (usize, usize) {
+        (sw % self.xdim, sw / self.xdim)
+    }
+    /// Switch an end node is attached to.
+    pub fn switch_of(&self, host: usize) -> usize {
+        host / self.hosts_per_switch
+    }
+
+    // Port numbering.
+    fn port_px(&self) -> usize {
+        self.hosts_per_switch
+    }
+    fn port_mx(&self) -> usize {
+        self.hosts_per_switch + 1
+    }
+    fn port_py(&self) -> usize {
+        self.hosts_per_switch + 2
+    }
+    fn port_my(&self) -> usize {
+        self.hosts_per_switch + 3
+    }
+
+    /// Dimension-order next hop from switch `(x, y)` toward `(dx, dy)`:
+    /// correct X first, then Y. Returns the output port.
+    fn next_port(&self, x: usize, y: usize, dx: usize, dy: usize) -> usize {
+        if x != dx {
+            if self.wrap {
+                // Shortest direction around the ring; ties go +X.
+                let fwd = (dx + self.xdim - x) % self.xdim;
+                let bwd = (x + self.xdim - dx) % self.xdim;
+                if fwd <= bwd {
+                    self.port_px()
+                } else {
+                    self.port_mx()
+                }
+            } else if dx > x {
+                self.port_px()
+            } else {
+                self.port_mx()
+            }
+        } else if self.wrap {
+            let fwd = (dy + self.ydim - y) % self.ydim;
+            let bwd = (y + self.ydim - dy) % self.ydim;
+            if fwd <= bwd {
+                self.port_py()
+            } else {
+                self.port_my()
+            }
+        } else if dy > y {
+            self.port_py()
+        } else {
+            self.port_my()
+        }
+    }
+
+    /// Build the topology with dimension-order forwarding tables.
+    pub fn build(&self) -> Topology {
+        assert!(self.xdim >= 1 && self.ydim >= 1);
+        assert!(self.hosts_per_switch >= 1);
+        // A 2-wide ring would cable both directions onto the same peer
+        // port pair; require ≥ 3 for wraparound, ≥ 1 for mesh.
+        if self.wrap {
+            assert!(
+                self.xdim >= 3 && self.ydim >= 3,
+                "torus dimensions must be ≥ 3 (a 2-ring double-cables its links)"
+            );
+        }
+        let ports = self.hosts_per_switch + 4;
+        let switches = vec![SwitchSpec { ports }; self.num_switches()];
+        let mut links = Vec::new();
+
+        for h in 0..self.num_hosts() {
+            links.push(LinkSpec {
+                a: Endpoint::Hca(h),
+                b: Endpoint::SwitchPort {
+                    switch: self.switch_of(h),
+                    port: h % self.hosts_per_switch,
+                },
+            });
+        }
+        // +X cables (one per adjacent pair; full duplex covers −X).
+        for y in 0..self.ydim {
+            for x in 0..self.xdim {
+                let nx = (x + 1) % self.xdim;
+                if nx != x + 1 && !self.wrap {
+                    continue; // mesh: no wraparound cable
+                }
+                if self.xdim == 1 {
+                    continue;
+                }
+                links.push(LinkSpec {
+                    a: Endpoint::SwitchPort {
+                        switch: self.sw(x, y),
+                        port: self.port_px(),
+                    },
+                    b: Endpoint::SwitchPort {
+                        switch: self.sw(nx, y),
+                        port: self.port_mx(),
+                    },
+                });
+            }
+        }
+        // +Y cables.
+        for y in 0..self.ydim {
+            for x in 0..self.xdim {
+                let ny = (y + 1) % self.ydim;
+                if ny != y + 1 && !self.wrap {
+                    continue;
+                }
+                if self.ydim == 1 {
+                    continue;
+                }
+                links.push(LinkSpec {
+                    a: Endpoint::SwitchPort {
+                        switch: self.sw(x, y),
+                        port: self.port_py(),
+                    },
+                    b: Endpoint::SwitchPort {
+                        switch: self.sw(x, ny),
+                        port: self.port_my(),
+                    },
+                });
+            }
+        }
+
+        let mut lfts = Vec::with_capacity(self.num_switches());
+        for s in 0..self.num_switches() {
+            let (x, y) = self.coords(s);
+            let mut lft = Vec::with_capacity(self.num_hosts());
+            for dst in 0..self.num_hosts() {
+                let dsw = self.switch_of(dst);
+                if dsw == s {
+                    lft.push((dst % self.hosts_per_switch) as u16);
+                } else {
+                    let (dx, dy) = self.coords(dsw);
+                    lft.push(self.next_port(x, y, dx, dy) as u16);
+                }
+            }
+            lfts.push(lft);
+        }
+
+        Topology {
+            name: format!(
+                "{}({}x{}, {} hosts/switch)",
+                if self.wrap { "torus" } else { "mesh" },
+                self.xdim,
+                self.ydim,
+                self.hosts_per_switch
+            ),
+            num_hcas: self.num_hosts(),
+            switches,
+            links,
+            lfts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_3x3_validates() {
+        let t = TorusSpec {
+            xdim: 3,
+            ydim: 3,
+            hosts_per_switch: 2,
+            wrap: false,
+        }
+        .build();
+        t.validate().unwrap();
+        assert_eq!(t.num_hcas, 18);
+    }
+
+    #[test]
+    fn torus_4x4_validates() {
+        let t = TorusSpec {
+            xdim: 4,
+            ydim: 4,
+            hosts_per_switch: 1,
+            wrap: true,
+        }
+        .build();
+        t.validate().unwrap();
+        assert_eq!(t.num_hcas, 16);
+    }
+
+    #[test]
+    fn torus_3x3_validates() {
+        let t = TorusSpec {
+            xdim: 3,
+            ydim: 3,
+            hosts_per_switch: 1,
+            wrap: true,
+        }
+        .build();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn mesh_hop_count_is_manhattan() {
+        let spec = TorusSpec {
+            xdim: 4,
+            ydim: 4,
+            hosts_per_switch: 1,
+            wrap: false,
+        };
+        let t = spec.build();
+        // host i sits on switch i. (0,0) -> (3,3): 3 + 3 X/Y hops + 1.
+        let hops = t.hop_count(0, 15).unwrap();
+        assert_eq!(hops, 7, "1 + manhattan distance");
+        let hops = t.hop_count(0, 1).unwrap();
+        assert_eq!(hops, 2);
+    }
+
+    #[test]
+    fn torus_uses_wraparound_shortcut() {
+        let spec = TorusSpec {
+            xdim: 5,
+            ydim: 5,
+            hosts_per_switch: 1,
+            wrap: true,
+        };
+        let t = spec.build();
+        // (0,0) -> (4,0) is 1 hop through the wraparound, so 2 switches.
+        assert_eq!(t.hop_count(0, 4).unwrap(), 2);
+    }
+
+    #[test]
+    fn mesh_1d_row_works() {
+        let t = TorusSpec {
+            xdim: 4,
+            ydim: 1,
+            hosts_per_switch: 1,
+            wrap: false,
+        }
+        .build();
+        t.validate().unwrap();
+        assert_eq!(t.hop_count(0, 3).unwrap(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn small_torus_rejected() {
+        TorusSpec {
+            xdim: 2,
+            ydim: 2,
+            hosts_per_switch: 1,
+            wrap: true,
+        }
+        .build();
+    }
+}

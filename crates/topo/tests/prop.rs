@@ -1,0 +1,94 @@
+//! Property-based tests: every generated topology must validate, and
+//! routing must respect the structural bounds of its family.
+
+use ibsim_topo::{single_switch, FatTreeSpec, TorusSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every buildable fat tree validates and routes all pairs with the
+    /// expected hop counts (1 intra-leaf, 3 inter-leaf).
+    #[test]
+    fn fat_trees_validate(radix_half in 1usize..7, leafs in 1usize..10) {
+        let radix = radix_half * 2;
+        prop_assume!(leafs <= radix);
+        let spec = FatTreeSpec { radix, leafs };
+        let t = spec.build();
+        prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        let idx = t.index();
+        for src in 0..t.num_hcas {
+            for dst in 0..t.num_hcas {
+                if src == dst { continue; }
+                let hops = t.route_path_with(&idx, src, dst).unwrap().len();
+                let expect = if spec.leaf_of(src) == spec.leaf_of(dst) { 1 } else { 3 };
+                prop_assert_eq!(hops, expect);
+            }
+        }
+    }
+
+    /// Uplink spreading: from any leaf, the d-mod-k tables use every
+    /// spine for some destination (no dead spine) whenever there are at
+    /// least `spines` nodes on other leafs.
+    #[test]
+    fn dmodk_uses_all_spines(radix_half in 2usize..8) {
+        let radix = radix_half * 2;
+        let spec = FatTreeSpec { radix, leafs: radix };
+        let t = spec.build();
+        let hpl = spec.hosts_per_leaf();
+        let mut used = vec![false; spec.spines()];
+        for dst in hpl..spec.num_hosts() {
+            let port = t.lfts[0][dst] as usize;
+            if port >= hpl {
+                used[port - hpl] = true;
+            }
+        }
+        prop_assert!(used.iter().all(|&u| u));
+    }
+
+    /// Single switches validate for any feasible host count.
+    #[test]
+    fn single_switch_validates(ports in 1usize..64, hosts in 1usize..64) {
+        prop_assume!(hosts <= ports);
+        let t = single_switch(ports, hosts);
+        prop_assert!(t.validate().is_ok());
+    }
+
+    /// Meshes validate and dimension-order hop counts equal the
+    /// Manhattan distance plus one.
+    #[test]
+    fn meshes_validate(x in 1usize..5, y in 1usize..5, h in 1usize..4) {
+        let spec = TorusSpec { xdim: x, ydim: y, hosts_per_switch: h, wrap: false };
+        let t = spec.build();
+        prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        let idx = t.index();
+        for src in 0..t.num_hcas {
+            for dst in 0..t.num_hcas {
+                if src == dst { continue; }
+                let (sx, sy) = (spec.switch_of(src) % x, spec.switch_of(src) / x);
+                let (dx, dy) = (spec.switch_of(dst) % x, spec.switch_of(dst) / x);
+                let manhattan = sx.abs_diff(dx) + sy.abs_diff(dy);
+                let hops = t.route_path_with(&idx, src, dst).unwrap().len();
+                prop_assert_eq!(hops, manhattan + 1);
+            }
+        }
+    }
+
+    /// Tori validate and never route longer than half the ring in each
+    /// dimension.
+    #[test]
+    fn tori_validate(x in 3usize..6, y in 3usize..6) {
+        let spec = TorusSpec { xdim: x, ydim: y, hosts_per_switch: 1, wrap: true };
+        let t = spec.build();
+        prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        let idx = t.index();
+        let max_hops = x / 2 + y / 2 + 1;
+        for src in 0..t.num_hcas {
+            for dst in 0..t.num_hcas {
+                if src == dst { continue; }
+                let hops = t.route_path_with(&idx, src, dst).unwrap().len();
+                prop_assert!(hops <= max_hops, "{src}->{dst}: {hops} > {max_hops}");
+            }
+        }
+    }
+}

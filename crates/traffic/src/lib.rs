@@ -1,0 +1,17 @@
+//! # ibsim-traffic
+//!
+//! The paper's workloads (§III): node roles (V/C/B), silent and windy
+//! hotspot forests, moving hotspots, and the measurement helpers that
+//! classify nodes into the categories the paper reports on.
+//!
+//! A [`scenario::Scenario`] binds a [`roles::RoleSpec`] placement to an
+//! `ibsim-net` network: it installs traffic classes, can move the
+//! hotspots mid-run, and computes per-category receive-rate summaries
+//! (hotspots / non-hotspots / all) plus the theoretical `tmax` bound of
+//! the figures.
+
+pub mod roles;
+pub mod scenario;
+
+pub use roles::{NodeRole, RoleAssignment, RoleSpec};
+pub use scenario::Scenario;

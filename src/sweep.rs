@@ -1,0 +1,128 @@
+//! Embarrassingly-parallel execution of independent simulation cells.
+//!
+//! Each simulation is a deterministic single-threaded DES; a parameter
+//! sweep (p values × CC on/off × lifetimes) is a set of independent
+//! cells. This runner fans them out over a scoped thread pool and
+//! returns results in input order, so parallel and serial execution
+//! produce identical output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` on `threads` worker threads, preserving order.
+/// `threads == 0` selects the available parallelism.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<R>>> = items
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker died before finishing"))
+        .collect()
+}
+
+/// Progress-reporting variant: calls `progress(done, total)` after each
+/// completed cell (from worker threads; keep it cheap and thread-safe).
+pub fn parallel_map_progress<T, R, F, P>(items: &[T], threads: usize, f: F, progress: P) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    P: Fn(usize, usize) + Sync,
+{
+    let done = AtomicUsize::new(0);
+    parallel_map(items, threads, |t| {
+        let r = f(t);
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        progress(d, items.len());
+        r
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..57).collect();
+        let out = parallel_map(&items, 4, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = parallel_map(&items, 0, |&x| x + 1);
+        assert_eq!(out[15], 16);
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let max_seen = AtomicU64::new(0);
+        let items: Vec<u32> = (0..20).collect();
+        parallel_map_progress(
+            &items,
+            4,
+            |&x| x,
+            |done, total| {
+                assert!(done <= total);
+                max_seen.fetch_max(done as u64, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(max_seen.load(Ordering::Relaxed), 20);
+    }
+}
