@@ -11,18 +11,30 @@
 //! Depending on [`CcMode`], a "flow" is either a
 //! queue pair (keyed by destination here — one QP per destination, as in
 //! the paper) or a whole service level.
+//!
+//! Flow state lives in a dense table indexed directly by [`FlowKey`]
+//! (destinations are dense node ids, service levels are small
+//! integers), so the per-packet IRD-gate lookup on the injection hot
+//! path is a bounds-checked array load instead of a hash probe. Slots
+//! are assigned once, on a flow's first BECN or throttled send, and the
+//! table is pre-sized from the topology via [`HcaCc::with_flow_capacity`].
 
 use crate::params::{CcMode, CcParams};
 use ibsim_engine::time::{Time, TimeDelta};
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Key identifying a throttled flow at an HCA.
+/// Key identifying a throttled flow at an HCA. Dense: the destination
+/// node id in QP mode, the service level in SL mode.
 pub type FlowKey = u32;
 
 #[derive(Clone, Copy, Debug, Default)]
 struct FlowCc {
     ccti: u16,
+    /// Whether this slot has ever been touched. Mirrors map presence in
+    /// the sparse representation: an untouched flow reports `ccti_min`
+    /// from [`HcaCc::ccti`] but starts throttling from 0 on its first
+    /// BECN.
+    tracked: bool,
     /// Earliest instant the next packet of this flow may start.
     next_allowed: Time,
 }
@@ -31,7 +43,8 @@ struct FlowCc {
 #[derive(Clone, Debug)]
 pub struct HcaCc {
     params: Arc<CcParams>,
-    flows: HashMap<FlowKey, FlowCc>,
+    /// Dense flow table indexed by `FlowKey`; grown on first touch.
+    flows: Vec<FlowCc>,
     /// Number of flows with CCTI above CCTI_Min — lets the recovery
     /// timer tick become a no-op when everything has recovered.
     throttled: usize,
@@ -43,10 +56,19 @@ impl HcaCc {
     pub fn new(params: Arc<CcParams>) -> Self {
         HcaCc {
             params,
-            flows: HashMap::new(),
+            flows: Vec::new(),
             throttled: 0,
             becns_received: 0,
         }
+    }
+
+    /// Like [`HcaCc::new`], pre-allocating the dense flow table for
+    /// `n_flows` keys (number of destinations in QP mode, number of
+    /// service levels in SL mode) so the hot path never reallocates.
+    pub fn with_flow_capacity(params: Arc<CcParams>, n_flows: usize) -> Self {
+        let mut cc = Self::new(params);
+        cc.flows.reserve(n_flows);
+        cc
     }
 
     pub fn params(&self) -> &CcParams {
@@ -62,14 +84,28 @@ impl HcaCc {
         }
     }
 
+    /// The slot for `key`, growing the table on first touch.
+    #[inline]
+    fn slot_mut(&mut self, key: FlowKey) -> &mut FlowCc {
+        let i = key as usize;
+        if i >= self.flows.len() {
+            self.flows.resize(i + 1, FlowCc::default());
+        }
+        &mut self.flows[i]
+    }
+
     /// Handle a BECN for `key`: increase the CCTI.
     pub fn on_becn(&mut self, key: FlowKey) {
         self.becns_received += 1;
-        let p = &self.params;
-        let f = self.flows.entry(key).or_default();
-        let was_min = f.ccti <= p.ccti_min;
-        f.ccti = f.ccti.saturating_add(p.ccti_increase).min(p.ccti_limit);
-        if was_min && f.ccti > p.ccti_min {
+        let (inc, limit, min) = {
+            let p = &self.params;
+            (p.ccti_increase, p.ccti_limit, p.ccti_min)
+        };
+        let f = self.slot_mut(key);
+        f.tracked = true;
+        let was_min = f.ccti <= min;
+        f.ccti = f.ccti.saturating_add(inc).min(limit);
+        if was_min && f.ccti > min {
             self.throttled += 1;
         }
     }
@@ -81,7 +117,7 @@ impl HcaCc {
             return 0;
         }
         let min = self.params.ccti_min;
-        for f in self.flows.values_mut() {
+        for f in &mut self.flows {
             if f.ccti > min {
                 f.ccti -= 1;
                 if f.ccti == min {
@@ -94,17 +130,17 @@ impl HcaCc {
 
     /// Current CCTI of a flow (CCTI_Min if never throttled).
     pub fn ccti(&self, key: FlowKey) -> u16 {
-        self.flows
-            .get(&key)
-            .map(|f| f.ccti)
-            .unwrap_or(self.params.ccti_min)
+        match self.flows.get(key as usize) {
+            Some(f) if f.tracked => f.ccti,
+            _ => self.params.ccti_min,
+        }
     }
 
     /// Earliest time the next packet of `key` may start.
     #[inline]
     pub fn next_allowed(&self, key: FlowKey) -> Time {
         self.flows
-            .get(&key)
+            .get(key as usize)
             .map(|f| f.next_allowed)
             .unwrap_or(Time::ZERO)
     }
@@ -116,13 +152,16 @@ impl HcaCc {
         let ccti = self.ccti(key);
         if ccti == 0 {
             // No IRD; avoid creating state for unthrottled flows.
-            if let Some(f) = self.flows.get_mut(&key) {
-                f.next_allowed = tx_end;
+            if let Some(f) = self.flows.get_mut(key as usize) {
+                if f.tracked {
+                    f.next_allowed = tx_end;
+                }
             }
             return;
         }
         let delay = self.params.cct.ird_delay(ccti, pkt_time);
-        let f = self.flows.entry(key).or_default();
+        let f = self.slot_mut(key);
+        f.tracked = true;
         f.next_allowed = tx_end + delay;
     }
 
@@ -138,7 +177,7 @@ impl HcaCc {
     /// Largest CCTI across flows (0 when none) — a useful gauge of how
     /// hard the mechanism is braking.
     pub fn max_ccti(&self) -> u16 {
-        self.flows.values().map(|f| f.ccti).max().unwrap_or(0)
+        self.flows.iter().map(|f| f.ccti).max().unwrap_or(0)
     }
 }
 
@@ -260,5 +299,36 @@ mod tests {
         assert_eq!(c.ccti(1), 10);
         assert_eq!(c.ccti(2), 0, "other destinations unaffected");
         assert_eq!(c.throttled_flows(), 1);
+    }
+
+    #[test]
+    fn untouched_low_keys_keep_map_semantics_after_growth() {
+        // on_becn(7) grows the dense table past keys 0..7; those slots
+        // must still behave exactly like absent map entries.
+        let mut p = CcParams::paper_table1();
+        p.ccti_min = 2;
+        let mut c = HcaCc::new(Arc::new(p));
+        c.on_becn(7);
+        assert_eq!(c.ccti(3), 2, "untouched in-range key reports CCTI_Min");
+        assert_eq!(c.next_allowed(3), Time::ZERO);
+        c.note_packet_sent(3, Time::from_ns(500), TimeDelta::from_ns(50));
+        // ccti_min > 0 means the send is gated, which (as with the map)
+        // creates state for the flow from a starting CCTI of 0.
+        assert!(c.next_allowed(3) > Time::from_ns(500));
+    }
+
+    #[test]
+    fn with_flow_capacity_is_behaviourally_identical() {
+        let mut a = HcaCc::with_flow_capacity(Arc::new(CcParams::paper_table1()), 64);
+        let mut b = cc();
+        for k in [5u32, 1, 5, 9] {
+            a.on_becn(k);
+            b.on_becn(k);
+        }
+        for k in 0..12 {
+            assert_eq!(a.ccti(k), b.ccti(k));
+            assert_eq!(a.next_allowed(k), b.next_allowed(k));
+        }
+        assert_eq!(a.throttled_flows(), b.throttled_flows());
     }
 }

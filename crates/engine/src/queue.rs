@@ -1,14 +1,46 @@
 //! The discrete-event queue.
 //!
-//! A binary-heap priority queue ordered by `(time, sequence)`. The
-//! monotone sequence number makes simultaneous events pop in insertion
-//! order, which is what makes whole-simulation determinism possible: two
-//! runs with the same configuration schedule the same events in the same
-//! order and therefore pop them in the same order.
+//! Two implementations of the same deterministic future-event list:
+//!
+//! - [`CalendarQueue`] (the default [`EventQueue`]): a flat bucketed
+//!   calendar queue / timing wheel. Events land in fixed-width time
+//!   buckets carved out of one contiguous slot array (a power-of-two
+//!   *stride* of slots per bucket), each bucket kept sorted so its
+//!   minimum pops from the end in O(1). Whatever does not fit its
+//!   bucket — far-future events (CCTI recovery timers live ~150 µs out
+//!   while data events churn at ns scale) and overflow from dense
+//!   buckets — waits in a single spill heap that competes with the
+//!   wheel at every pop, so exact order never depends on the wheel
+//!   geometry. The geometry itself (bucket width, count, stride)
+//!   retunes from the observed misfit rate and inter-event spacing
+//!   (amortized O(1) rebuilds), so the structure adapts to any
+//!   workload scale without tuning; in the worst case everything
+//!   spills and the queue degrades to the plain binary heap.
+//! - [`HeapQueue`]: the classic binary-heap queue, kept as the reference
+//!   implementation. A differential property test (tests/prop.rs) pins
+//!   the two to byte-identical pop streams; building with
+//!   `RUSTFLAGS="--cfg ibsim_heap_queue"` swaps it back in globally to
+//!   reproduce pre-calendar behaviour (the two must — and do — produce
+//!   identical simulation results).
+//!
+//! Both order events by `(time, sequence)`: the monotone sequence number
+//! makes simultaneous events pop in insertion order, which is what makes
+//! whole-simulation determinism possible — two runs with the same
+//! configuration schedule the same events in the same order and
+//! therefore pop them in the same order. Every structural parameter of
+//! the calendar (width, bucket count, stride, retune points) is derived
+//! from already-scheduled events only, so it never perturbs that order.
 
 use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// The event-queue implementation the simulator runs on.
+#[cfg(not(ibsim_heap_queue))]
+pub type EventQueue<E> = CalendarQueue<E>;
+/// The event-queue implementation the simulator runs on.
+#[cfg(ibsim_heap_queue)]
+pub type EventQueue<E> = HeapQueue<E>;
 
 struct Entry<E> {
     at: Time,
@@ -37,24 +69,513 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic future-event list.
-pub struct EventQueue<E> {
+#[inline]
+fn entry_before<E>(a: &Entry<E>, b: &Entry<E>) -> bool {
+    (a.at, a.seq) < (b.at, b.seq)
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+/// Default bucket count (always a power of two so slot → bucket is a
+/// mask, and ≥ 64 for the occupancy bitset).
+const DEFAULT_BUCKETS: usize = 1024;
+const MIN_BUCKETS: usize = 1024;
+const MAX_BUCKETS: usize = 1 << 16;
+/// Default bucket width: 2^13 ps ≈ 8 ns, near the link/switch latency
+/// scale that dominates fabric simulations before any adaptation.
+const DEFAULT_WIDTH_SHIFT: u32 = 13;
+/// Slots per bucket (log2). Small buckets keep the common insert/pop
+/// touching one or two cache lines; dense tie-heavy loads retune to a
+/// larger stride instead of spilling everything.
+const MIN_STRIDE_SHIFT: u32 = 3;
+const MAX_STRIDE_SHIFT: u32 = 6;
+/// Hard cap on `buckets × stride` so a retune can never ask for an
+/// unbounded slot array.
+const MAX_SLOTS: u64 = 1 << 18;
+
+/// A deterministic future-event list (bucketed calendar queue).
+pub struct CalendarQueue<E> {
+    /// One contiguous array of `n_buckets << stride_shift` slots; bucket
+    /// `b` owns `slots[b << stride_shift ..][..lens[b]]`, unsorted —
+    /// inserts append in O(1), pops linear-scan the bucket for its
+    /// `(time, seq)` minimum (bounded by the stride, cache-dense, and
+    /// branch-predictable, which beats keeping the bucket sorted).
+    slots: Vec<Option<Entry<E>>>,
+    /// Per-bucket occupancy (physical index order).
+    lens: Vec<u16>,
+    mask: usize,
+    stride_shift: u32,
+    width_shift: u32,
+    /// Exclusive upper slot bound of the wheel window
+    /// `[hor_slot - n_buckets, hor_slot)`; slides forward with the clock.
+    hor_slot: u64,
+    /// Lower bound for the next occupied-bucket scan: no non-empty
+    /// bucket has a slot below this.
+    hint_slot: u64,
+    /// Occupancy bitset, one bit per bucket (physical index order).
+    occupied: Vec<u64>,
+    /// Events currently sitting in wheel buckets (excludes spill).
+    bucketed: usize,
+    /// Everything that did not fit its bucket — far-future events and
+    /// overflow from full buckets — ordered min-first. Competes with the
+    /// wheel at every pop, so placement never affects pop order.
+    spill: BinaryHeap<Entry<E>>,
+    inserts_since_retune: usize,
+    misfits_since_retune: usize,
+    /// Inserts required before the next adaptation is considered.
+    cooldown: usize,
+    /// Count of sub-threshold decay steps since the last retune; a slow
+    /// drift check forces a retune every 16th one, so a persistent
+    /// low-rate misfit trickle (geometry mildly wrong, never wrong
+    /// enough to trip the 25 % threshold) still converges to the right
+    /// shape eventually.
+    halvings: u32,
+    seq: u64,
+    now: Time,
+    processed: u64,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    pub fn new() -> Self {
+        Self::with_shape(DEFAULT_BUCKETS, DEFAULT_WIDTH_SHIFT, MIN_STRIDE_SHIFT)
+    }
+
+    /// Pre-size for roughly `pending_hint` simultaneously pending events
+    /// (e.g. nodes × ports for a network simulation). The bucket count
+    /// is a structural hint only — correctness and adaptation never
+    /// depend on it.
+    pub fn with_capacity(pending_hint: usize) -> Self {
+        let n = (pending_hint.max(1) * 2)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        Self::with_shape(n, DEFAULT_WIDTH_SHIFT, MIN_STRIDE_SHIFT)
+    }
+
+    fn with_shape(n_buckets: usize, width_shift: u32, stride_shift: u32) -> Self {
+        debug_assert!(n_buckets.is_power_of_two() && n_buckets >= 64);
+        let mut slots = Vec::new();
+        slots.resize_with(n_buckets << stride_shift, || None);
+        CalendarQueue {
+            slots,
+            lens: vec![0u16; n_buckets],
+            mask: n_buckets - 1,
+            stride_shift,
+            width_shift,
+            hor_slot: n_buckets as u64,
+            hint_slot: 0,
+            occupied: vec![0u64; n_buckets / 64],
+            bucketed: 0,
+            spill: BinaryHeap::new(),
+            inserts_since_retune: 0,
+            misfits_since_retune: 0,
+            cooldown: 256,
+            halvings: 0,
+            seq: 0,
+            now: Time::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.bucketed + self.spill.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    #[inline]
+    fn base_slot(&self) -> u64 {
+        self.hor_slot - (self.mask as u64 + 1)
+    }
+
+    #[inline]
+    fn mark(&mut self, phys: usize) {
+        self.occupied[phys >> 6] |= 1u64 << (phys & 63);
+    }
+
+    #[inline]
+    fn unmark(&mut self, phys: usize) {
+        self.occupied[phys >> 6] &= !(1u64 << (phys & 63));
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Panics in debug builds if `at` lies in the past; scheduling *at*
+    /// the current instant is allowed and pops after everything already
+    /// queued for that instant.
+    #[inline]
+    pub fn schedule(&mut self, at: Time, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.insert(Entry { at, seq, event });
+    }
+
+    fn insert(&mut self, e: Entry<E>) {
+        self.inserts_since_retune += 1;
+        if let Some(e) = self.try_bucket(e) {
+            // No room in the wheel for this event: it waits in the
+            // spill heap and competes at pop time, so nothing is ever
+            // mis-ordered — just slower. A high misfit rate is the
+            // signal that the geometry no longer matches the workload.
+            self.spill.push(e);
+            self.misfits_since_retune += 1;
+            if self.inserts_since_retune >= self.cooldown {
+                if self.misfits_since_retune * 4 > self.inserts_since_retune {
+                    self.retune();
+                } else {
+                    // Below the retune threshold: decay both counters so
+                    // the test tracks the recent misfit rate instead of
+                    // averaging over the whole history (a workload shift
+                    // must show up within ~one cooldown window).
+                    self.inserts_since_retune /= 2;
+                    self.misfits_since_retune /= 2;
+                    self.halvings += 1;
+                    if self.halvings >= 16 {
+                        self.retune();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Place `e` into its wheel bucket, or hand it back if it lies
+    /// beyond the window or its bucket is full.
+    #[inline]
+    fn try_bucket(&mut self, e: Entry<E>) -> Option<Entry<E>> {
+        let slot = e.at.0 >> self.width_shift;
+        if slot >= self.hor_slot {
+            return Some(e);
+        }
+        // Events behind the window base (only reachable if a caller
+        // schedules into the past with debug assertions off) are clamped
+        // into the base bucket; the sorted bucket still pops them in
+        // exact (time, seq) order, and the base bucket is scanned first.
+        let slot = slot.max(self.base_slot());
+        let phys = (slot & self.mask as u64) as usize;
+        let len = self.lens[phys] as usize;
+        if len == 1usize << self.stride_shift {
+            return Some(e);
+        }
+        let base = phys << self.stride_shift;
+        self.slots[base + len] = Some(e);
+        self.lens[phys] = (len + 1) as u16;
+        self.mark(phys);
+        self.bucketed += 1;
+        if slot < self.hint_slot {
+            self.hint_slot = slot;
+        }
+        None
+    }
+
+    /// Recompute bucket width/count/stride from the live event
+    /// population and redistribute everything. Order is unaffected:
+    /// structure only changes *where* entries wait, never how they
+    /// compare.
+    fn retune(&mut self) {
+        self.inserts_since_retune = 0;
+        self.misfits_since_retune = 0;
+        self.halvings = 0;
+        let total = self.pending();
+        if total == 0 {
+            return;
+        }
+        // Span estimate from an unbiased decimated sample of the whole
+        // population (wheel and spill together — sampling either side
+        // first would hide whichever band the geometry failed). The
+        // 25th-percentile distance-from-now × 4 locks the width onto
+        // the densest near-future band of a bimodal population (data
+        // churn vs far-out recovery timers) and reduces to the plain
+        // span estimate when the population is unimodal.
+        let step = (total / 4096).max(1);
+        let mut dists: Vec<u64> = Vec::with_capacity(total.min(4096) + 1);
+        let mut c = 0usize;
+        for e in self.spill.iter() {
+            if c.is_multiple_of(step) {
+                dists.push(e.at.0.saturating_sub(self.now.0));
+            }
+            c += 1;
+        }
+        for (phys, &l) in self.lens.iter().enumerate() {
+            let base = phys << self.stride_shift;
+            for k in 0..l as usize {
+                if c.is_multiple_of(step) {
+                    let at = self.slots[base + k].as_ref().expect("occupied slot").at;
+                    dists.push(at.0.saturating_sub(self.now.0));
+                }
+                c += 1;
+            }
+        }
+        let i25 = (dists.len() / 4).min(dists.len() - 1);
+        let (_, &mut d25, _) = dists.select_nth_unstable(i25);
+        let spread = (d25 * 4).max(1);
+
+        // Width target: ~1 event per slot across the near-future bulk;
+        // when events are denser than one per picosecond the width
+        // bottoms out and the stride grows to hold the pile-ups inline.
+        let per_event = spread / total as u64;
+        let width_shift = if per_event >= 2 {
+            per_event.next_power_of_two().trailing_zeros()
+        } else {
+            0
+        };
+        let slots_needed = (spread >> width_shift).max(1);
+        let per_bucket4 = ((total as u64 * 4) / slots_needed).max(1);
+        let stride_shift = per_bucket4
+            .next_power_of_two()
+            .trailing_zeros()
+            .clamp(MIN_STRIDE_SHIFT, MAX_STRIDE_SHIFT);
+        let max_n = ((MAX_SLOTS >> stride_shift) as usize).max(MIN_BUCKETS);
+        let n = slots_needed
+            .saturating_mul(2)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS as u64, MAX_BUCKETS as u64) as usize;
+        let n = n.min(max_n);
+
+        // A retune that cannot change the geometry (e.g. a pile of
+        // simultaneous events already at minimum width and maximum
+        // stride) gets a long cooldown so pathological loads degrade to
+        // the spill heap instead of thrashing on O(n) redistributions.
+        if width_shift == self.width_shift
+            && stride_shift == self.stride_shift
+            && n == self.mask + 1
+        {
+            self.cooldown = (total * 8).max(4096);
+            return;
+        }
+        self.cooldown = total.max(256);
+
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(total);
+        for phys in 0..self.lens.len() {
+            let base = phys << self.stride_shift;
+            for k in 0..self.lens[phys] as usize {
+                all.push(self.slots[base + k].take().expect("occupied slot"));
+            }
+        }
+        all.extend(std::mem::take(&mut self.spill).into_vec());
+
+        self.width_shift = width_shift;
+        self.stride_shift = stride_shift;
+        self.mask = n - 1;
+        self.slots.clear();
+        self.slots.resize_with(n << stride_shift, || None);
+        self.lens.clear();
+        self.lens.resize(n, 0);
+        self.occupied.clear();
+        self.occupied.resize(n / 64, 0);
+        self.bucketed = 0;
+        let now_slot = self.now.0 >> width_shift;
+        self.hor_slot = now_slot + n as u64;
+        self.hint_slot = now_slot;
+        for e in all {
+            if let Some(e) = self.try_bucket(e) {
+                self.spill.push(e);
+            }
+        }
+    }
+
+    /// Index of the bucket's `(time, seq)`-minimum entry within
+    /// `slots` (buckets are unsorted; the scan is stride-bounded).
+    #[inline]
+    fn bucket_min(&self, phys: usize) -> usize {
+        let base = phys << self.stride_shift;
+        let len = self.lens[phys] as usize;
+        debug_assert!(len > 0);
+        let mut mi = base;
+        for i in base + 1..base + len {
+            let (a, b) = (
+                self.slots[i].as_ref().expect("occupied slot"),
+                self.slots[mi].as_ref().expect("occupied slot"),
+            );
+            if entry_before(a, b) {
+                mi = i;
+            }
+        }
+        mi
+    }
+
+    /// First occupied slot in `[from, hor_slot)`, in slot order.
+    fn next_occupied(&self, from: u64) -> Option<u64> {
+        let end = self.hor_slot;
+        let mut s = from.max(self.base_slot());
+        while s < end {
+            let phys = (s & self.mask as u64) as usize;
+            let bit = phys & 63;
+            let word = self.occupied[phys >> 6] & (!0u64 << bit);
+            if word != 0 {
+                let found = s + (word.trailing_zeros() as u64 - bit as u64);
+                return (found < end).then_some(found);
+            }
+            s += 64 - bit as u64;
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        let bucket_at = if self.bucketed > 0 {
+            let slot = self
+                .next_occupied(self.hint_slot)
+                .expect("bucketed > 0 implies an occupied bucket");
+            let phys = (slot & self.mask as u64) as usize;
+            let idx = self.bucket_min(phys);
+            Some(self.slots[idx].as_ref().expect("occupied slot").at)
+        } else {
+            None
+        };
+        match (bucket_at, self.spill.peek().map(|e| e.at)) {
+            (Some(b), Some(s)) => Some(b.min(s)),
+            (b, s) => b.or(s),
+        }
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let e = if self.bucketed == 0 {
+            self.spill.pop()?
+        } else {
+            let slot = self
+                .next_occupied(self.hint_slot)
+                .expect("non-empty wheel has an occupied bucket");
+            self.hint_slot = slot;
+            let phys = (slot & self.mask as u64) as usize;
+            let len = self.lens[phys] as usize;
+            // The bucket minimum competes with the spill top, so wheel
+            // geometry never affects pop order.
+            let idx = self.bucket_min(phys);
+            let take_spill = match self.spill.peek() {
+                Some(s) => {
+                    let b = self.slots[idx].as_ref().expect("occupied slot");
+                    entry_before(s, b)
+                }
+                None => false,
+            };
+            if take_spill {
+                self.spill.pop().expect("peeked entry")
+            } else {
+                let e = self.slots[idx].take().expect("occupied slot");
+                let last = (phys << self.stride_shift) + len - 1;
+                if idx != last {
+                    self.slots[idx] = self.slots[last].take();
+                }
+                self.lens[phys] = (len - 1) as u16;
+                if len == 1 {
+                    self.unmark(phys);
+                }
+                self.bucketed -= 1;
+                e
+            }
+        };
+        debug_assert!(e.at >= self.now, "time went backwards");
+        self.now = e.at;
+        self.processed += 1;
+        // Slide the window forward with the clock: buckets falling off
+        // the back are provably empty (every remaining event's time is
+        // ≥ now, so its slot is ≥ the new base), and the freed room
+        // lets near-future schedules stay bucketed instead of detouring
+        // through the spill heap. No events move — O(1).
+        let min_hor = (self.now.0 >> self.width_shift) + self.mask as u64 + 1;
+        if min_hor > self.hor_slot {
+            self.hor_slot = min_hor;
+        }
+        Some((e.at, e.event))
+    }
+
+    /// Schedule `event` `delta` after now.
+    #[inline]
+    pub fn schedule_in(&mut self, delta: crate::time::TimeDelta, event: E) {
+        let at = self.now + delta;
+        self.schedule(at, event);
+    }
+
+    /// Pop the next event only if it is due at or before `limit`.
+    /// The clock never advances beyond `limit` through this method.
+    #[inline]
+    pub fn pop_until(&mut self, limit: Time) -> Option<(Time, E)> {
+        match self.peek_time() {
+            Some(t) if t <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drop all pending events and reset the clock (for reuse in sweeps).
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.lens.fill(0);
+        self.occupied.fill(0);
+        self.spill.clear();
+        self.bucketed = 0;
+        self.hor_slot = self.mask as u64 + 1;
+        self.hint_slot = 0;
+        self.halvings = 0;
+        self.inserts_since_retune = 0;
+        self.misfits_since_retune = 0;
+        self.cooldown = 256;
+        self.seq = 0;
+        self.now = Time::ZERO;
+        self.processed = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference binary-heap queue
+// ---------------------------------------------------------------------------
+
+/// The classic binary-heap future-event list; reference implementation
+/// for the calendar queue's determinism contract.
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: Time,
     processed: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
+        Self::with_capacity(1024)
+    }
+
+    /// Pre-size for roughly `pending_hint` simultaneously pending events.
+    pub fn with_capacity(pending_hint: usize) -> Self {
+        HeapQueue {
+            heap: BinaryHeap::with_capacity(pending_hint.max(1)),
             seq: 0,
             now: Time::ZERO,
             processed: 0,
@@ -83,11 +604,7 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Schedule `event` at absolute time `at`.
-    ///
-    /// Panics in debug builds if `at` lies in the past; scheduling *at*
-    /// the current instant is allowed and pops after everything already
-    /// queued for that instant.
+    /// Schedule `event` at absolute time `at` (see [`CalendarQueue::schedule`]).
     #[inline]
     pub fn schedule(&mut self, at: Time, event: E) {
         debug_assert!(
@@ -124,7 +641,6 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the next event only if it is due at or before `limit`.
-    /// The clock never advances beyond `limit` through this method.
     #[inline]
     pub fn pop_until(&mut self, limit: Time) -> Option<(Time, E)> {
         match self.peek_time() {
@@ -234,5 +750,88 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 4);
         assert_eq!(q.pop().unwrap().1, 5);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow() {
+        // CCTI-timer pattern: ns-scale churn plus a timer ~150 µs out
+        // (far beyond any initial wheel window).
+        let mut q = CalendarQueue::new();
+        q.schedule(Time(153_600_000), "timer");
+        for i in 0..50u64 {
+            q.schedule(Time(1_000 + i), "data");
+        }
+        for _ in 0..50 {
+            assert_eq!(q.pop().unwrap().1, "data");
+        }
+        assert_eq!(q.pop(), Some((Time(153_600_000), "timer")));
+        // Scheduling keeps working after the window jumped forward.
+        q.schedule(Time(153_600_001), "next");
+        assert_eq!(q.pop(), Some((Time(153_600_001), "next")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn dense_population_triggers_adaptation_and_stays_ordered() {
+        // Push far more events than the default geometry likes, then
+        // verify the full pop stream is still perfectly sorted.
+        let mut q = CalendarQueue::new();
+        let mut rng = crate::rng::Rng::new(42);
+        for i in 0..20_000u64 {
+            q.schedule(Time(rng.next_below(1_000_000)), i);
+        }
+        let mut last = (Time::ZERO, 0u64);
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            let key = (t, i);
+            if popped > 0 {
+                assert!(t >= last.0, "time regressed at pop {popped}");
+            }
+            last = key;
+            popped += 1;
+        }
+        assert_eq!(popped, 20_000);
+    }
+
+    #[test]
+    fn with_capacity_matches_new_semantics() {
+        let mut a = CalendarQueue::with_capacity(648 * 8);
+        let mut b = CalendarQueue::new();
+        for i in 0..1000u64 {
+            a.schedule(Time(i * 37 % 5000), i);
+            b.schedule(Time(i * 37 % 5000), i);
+        }
+        for _ in 0..1000 {
+            assert_eq!(a.pop(), b.pop());
+        }
+    }
+
+    #[test]
+    fn calendar_matches_heap_reference_exactly() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut rng = crate::rng::Rng::new(7);
+        // Interleaved schedule/pop with ties and far-future jumps.
+        for round in 0..5_000u64 {
+            let delta = match rng.next_below(100) {
+                0..=4 => 0,                          // ties
+                5..=9 => 200_000_000,                // far future
+                _ => rng.next_below(2_000),          // churn
+            };
+            let at = Time(cal.now().0 + delta);
+            cal.schedule(at, round);
+            heap.schedule(at, round);
+            if rng.next_below(100) < 60 {
+                assert_eq!(cal.pop(), heap.pop(), "diverged at round {round}");
+            }
+            assert_eq!(cal.pending(), heap.pending());
+        }
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            assert_eq!(c, h);
+            if c.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the DES kernel.
 
-use ibsim_engine::queue::EventQueue;
+use ibsim_engine::queue::{CalendarQueue, EventQueue, HeapQueue};
 use ibsim_engine::rng::Rng;
 use ibsim_engine::stats::{Histogram, TimeWeightedGauge};
 use ibsim_engine::time::{Bandwidth, Time, TimeDelta};
@@ -24,6 +24,71 @@ proptest! {
             prop_assert!(w[0].0 <= w[1].0, "time order");
             if w[0].0 == w[1].0 {
                 prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    /// Differential determinism: the calendar queue and the reference
+    /// binary-heap queue emit byte-identical `(time, event)` streams —
+    /// including peeks and pending counts — under arbitrary
+    /// interleavings of ties, near-future churn, and far-future timers
+    /// (the CCTI-tick pattern that exercises the overflow heap and
+    /// window jumps).
+    #[test]
+    fn calendar_queue_matches_heap_reference(
+        ops in prop::collection::vec((0u64..100, 0u64..3_000, prop::bool::ANY), 1..400)
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for (i, &(kind, delta, do_pop)) in ops.iter().enumerate() {
+            let delta = match kind {
+                0..=9 => 0,                    // exact tie with `now`
+                10..=19 => 200_000_000 + delta, // far beyond any window
+                _ => delta,                     // ns-scale churn
+            };
+            let at = Time(cal.now().0 + delta);
+            cal.schedule(at, i);
+            heap.schedule(at, i);
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            if do_pop {
+                prop_assert_eq!(cal.pop(), heap.pop(), "diverged at op {}", i);
+            }
+            prop_assert_eq!(cal.pending(), heap.pending());
+            prop_assert_eq!(cal.now(), heap.now());
+        }
+        // Drain both to the end: every remaining event must match too.
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            prop_assert_eq!(&c, &h);
+            if c.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(cal.processed(), heap.processed());
+    }
+
+    /// `pop_until` agrees between the implementations for arbitrary
+    /// limits (the main-loop primitive of `Network::run_until`).
+    #[test]
+    fn calendar_pop_until_matches_heap(
+        times in prop::collection::vec(0u64..10_000, 1..200),
+        limits in prop::collection::vec(0u64..12_000, 1..50)
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(Time(t), i);
+            heap.schedule(Time(t), i);
+        }
+        let mut limits = limits.clone();
+        limits.sort_unstable();
+        for &l in &limits {
+            loop {
+                let (c, h) = (cal.pop_until(Time(l)), heap.pop_until(Time(l)));
+                prop_assert_eq!(&c, &h);
+                if c.is_none() {
+                    break;
+                }
             }
         }
     }

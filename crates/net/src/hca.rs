@@ -6,7 +6,6 @@ use crate::gen::TrafficClass;
 use crate::types::{NodeId, Packet, PacketKind, Vl, CNP_BYTES};
 use ibsim_cc::HcaCc;
 use ibsim_engine::time::{Time, TimeDelta};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// What the HCA's injector wants to do next.
@@ -51,19 +50,21 @@ pub struct Hca {
     rr_class: usize,
     /// CA-side congestion control state.
     pub cc: HcaCc,
-    /// Per-destination injection sequence numbers.
-    seqs: HashMap<NodeId, u32>,
+    /// Per-destination injection sequence numbers, indexed by node id.
+    seqs: Vec<u32>,
     // ---- ingress --------------------------------------------------------
     /// Channel from the fabric into this HCA.
     pub in_channel: u32,
     /// The packet currently being drained by the sink, if any.
     draining: Option<Packet>,
     sink_queue: VecDeque<Packet>,
-    /// Per-source last delivered sequence number (ordering check).
-    last_seq: HashMap<NodeId, u32>,
-    /// Bytes received per source inside the measurement window —
-    /// feeds per-flow fairness metrics.
-    pub rx_by_src: HashMap<NodeId, u64>,
+    /// Per-source last delivered sequence number (ordering check),
+    /// indexed by node id.
+    last_seq: Vec<u32>,
+    /// Bytes received per source inside the measurement window, indexed
+    /// by node id (zero = nothing received) — feeds per-flow fairness
+    /// metrics.
+    pub rx_by_src: Vec<u64>,
     // ---- statistics ------------------------------------------------------
     pub rx_meter: ibsim_engine::RateMeter,
     pub tx_meter: ibsim_engine::RateMeter,
@@ -75,7 +76,9 @@ pub struct Hca {
 }
 
 impl Hca {
-    pub fn new(id: NodeId, n_vls: u8, cc: HcaCc) -> Self {
+    /// `num_nodes` sizes the dense per-peer tables (sequence numbers,
+    /// ordering checks, per-source receive accounting).
+    pub fn new(id: NodeId, num_nodes: u32, n_vls: u8, cc: HcaCc) -> Self {
         Hca {
             id,
             out_channel: u32::MAX,
@@ -87,12 +90,12 @@ impl Hca {
             classes: Vec::new(),
             rr_class: 0,
             cc,
-            seqs: HashMap::new(),
+            seqs: vec![0; num_nodes as usize],
             in_channel: u32::MAX,
             draining: None,
             sink_queue: VecDeque::new(),
-            last_seq: HashMap::new(),
-            rx_by_src: HashMap::new(),
+            last_seq: vec![0; num_nodes as usize],
+            rx_by_src: vec![0; num_nodes as usize],
             rx_meter: ibsim_engine::RateMeter::new(),
             tx_meter: ibsim_engine::RateMeter::new(),
             latency: ibsim_engine::Histogram::new(),
@@ -179,7 +182,7 @@ impl Hca {
             let sl = class.sl;
             let vlv = class.vl;
             let seq = {
-                let s = self.seqs.entry(dst).or_insert(0);
+                let s = &mut self.seqs[dst as usize];
                 *s += 1;
                 *s
             };
@@ -275,14 +278,14 @@ impl Hca {
             PacketKind::Data { .. } => {
                 self.delivered_packets += 1;
                 if self.rx_meter.is_open(now) {
-                    *self.rx_by_src.entry(pkt.src).or_insert(0) += pkt.bytes as u64;
+                    self.rx_by_src[pkt.src as usize] += pkt.bytes as u64;
                 }
                 self.rx_meter.record(now, pkt.bytes as u64);
                 self.latency
                     .record(now.saturating_since(pkt.injected_at).as_ps());
                 // Deterministic routing + FIFO queueing must preserve
                 // per-(src,dst) ordering.
-                let last = self.last_seq.entry(pkt.src).or_insert(0);
+                let last = &mut self.last_seq[pkt.src as usize];
                 debug_assert!(
                     pkt.seq > *last,
                     "out-of-order delivery from {}: {} after {}",
@@ -322,7 +325,7 @@ mod tests {
     fn hca() -> (Hca, NetConfig) {
         let cfg = NetConfig::paper();
         let cc = HcaCc::new(Arc::new(CcParams::paper_table1()));
-        let mut h = Hca::new(3, 1, cc);
+        let mut h = Hca::new(3, 16, 1, cc);
         h.credits = vec![128];
         (h, cfg)
     }

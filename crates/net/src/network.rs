@@ -90,14 +90,20 @@ impl Network {
                 Switch::with_arbitration(s.ports, n_vls, lft.clone(), cfg.vl_arbitration.clone())
             })
             .collect();
+        let num_nodes = topo.num_hcas as u32;
         let mut hcas: Vec<Hca> = (0..topo.num_hcas)
             .map(|i| {
-                let cc = HcaCc::new(
-                    cc_params
-                        .clone()
-                        .unwrap_or_else(|| Arc::new(ibsim_cc::CcParams::paper_table1())),
-                );
-                Hca::new(i as NodeId, n_vls, cc)
+                let params = cc_params
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(ibsim_cc::CcParams::paper_table1()));
+                // Pre-size the dense flow table for every key the mode
+                // can produce.
+                let n_flows = match params.mode {
+                    ibsim_cc::CcMode::QueuePair => topo.num_hcas,
+                    ibsim_cc::CcMode::ServiceLevel => n_vls as usize,
+                };
+                let cc = HcaCc::with_flow_capacity(params, n_flows);
+                Hca::new(i as NodeId, num_nodes, n_vls, cc)
             })
             .collect();
 
@@ -174,9 +180,13 @@ impl Network {
             }
         }
 
+        // Pending events scale with the wired port count: roughly one
+        // in-flight packet or credit per unidirectional channel plus a
+        // couple of self-events (wakeup, timer) per HCA.
+        let pending_hint = channels.len() + hcas.len() * 2;
         Network {
             cfg,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(pending_hint),
             switches,
             hcas,
             channels,
@@ -353,7 +363,7 @@ impl Network {
         for h in &mut self.hcas {
             h.rx_meter.start_window(now);
             h.tx_meter.start_window(now);
-            h.rx_by_src.clear();
+            h.rx_by_src.fill(0);
         }
     }
 
@@ -565,12 +575,14 @@ impl Network {
     /// Ask an HCA's injector for work and wire up a sent packet.
     fn hca_try_send(&mut self, now: Time, hi: u32) {
         let num_nodes = self.hcas.len() as u32;
-        let cfg = self.cfg.clone();
         let cc_on = self.cc_params.is_some();
+        // Disjoint field borrows: the HCA is mutated while the config is
+        // read — never clone NetConfig (it owns the CCT and arbitration
+        // tables) on the per-event path.
         let h = &mut self.hcas[hi as usize];
-        match h.next_packet(now, num_nodes, &cfg, cc_on) {
+        match h.next_packet(now, num_nodes, &self.cfg, cc_on) {
             NextSend::Packet(pkt) => {
-                let ser = h.note_sent(&pkt, now, &cfg, cc_on);
+                let ser = h.note_sent(&pkt, now, &self.cfg, cc_on);
                 let out_ch = h.out_channel;
                 let busy_until = h.busy_until;
                 self.trace(now, &pkt, TracePoint::Inject);

@@ -160,10 +160,13 @@ impl Scenario {
         for &hs in &self.assignment.hotspots {
             let by_src = &net.hcas[hs as usize].rx_by_src;
             // Restrict to this hotspot's contributors (uniform-traffic
-            // drive-by deliveries would dilute the index).
+            // drive-by deliveries would dilute the index). The table is
+            // dense per source; zero entries mean "no bytes received"
+            // and stay out of the index, exactly like absent map keys.
             let xs: Vec<f64> = by_src
                 .iter()
-                .filter(|(src, _)| self.assignment.roles[**src as usize].is_contributor())
+                .enumerate()
+                .filter(|&(src, &b)| b > 0 && self.assignment.roles[src].is_contributor())
                 .map(|(_, &b)| b as f64)
                 .collect();
             if xs.is_empty() {

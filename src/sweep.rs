@@ -5,6 +5,11 @@
 //! cells. This runner fans them out over a scoped thread pool and
 //! returns results in input order, so parallel and serial execution
 //! produce identical output.
+//!
+//! Work distribution is dynamic (an atomic cursor hands out the next
+//! cell), but results never cross threads mid-run: each worker collects
+//! its `(index, result)` pairs locally and the caller scatters them into
+//! the output after joining — no per-cell locks.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -30,27 +35,35 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<R>>> = items
-        .iter()
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
 
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock() = Some(r);
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                debug_assert!(results[i].is_none(), "cell {i} computed twice");
+                results[i] = Some(r);
+            }
         }
     });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("worker died before finishing"))
+        .map(|r| r.expect("worker died before finishing"))
         .collect()
 }
 

@@ -1,0 +1,113 @@
+//! Regression pins for whole-simulation determinism.
+//!
+//! The event queue, the RNG streams, and every hot-path data structure
+//! are supposed to make same-seed runs bit-reproducible. These tests
+//! pin the Table II CSV output at the default seed so any change that
+//! perturbs event order — however subtly — fails loudly instead of
+//! silently shifting published numbers.
+//!
+//! The quick-preset pin is `#[ignore]`d (it simulates 72 nodes for 6 ms
+//! and wants a release build); CI runs it in the bench job via
+//! `cargo test --release -q -- --ignored`.
+
+use ibsim::prelude::*;
+
+/// Build the exact CSV the `table2` binary writes (same cells, same
+/// row labels, same 3-decimal formatting, same serialisation).
+fn table2_csv(topo: &Topology, cfg: &NetConfig, roles: RoleSpec, dur: RunDurations) -> String {
+    let f3 = |x: f64| format!("{x:.3}");
+    // (cc, contributors_active) — the four cells of Table II.
+    let cells = [(false, false), (true, false), (false, true), (true, true)];
+    let results: Vec<ScenarioResult> = cells
+        .iter()
+        .map(|&(cc, active)| {
+            let mut c = cfg.clone();
+            if !cc {
+                c.cc = None;
+            }
+            run_scenario_opts(topo, c, roles, dur, None, active)
+        })
+        .collect();
+    let (base_off, base_on, hs_off, hs_on) = (&results[0], &results[1], &results[2], &results[3]);
+    let rows = [
+        ("no_hotspots_no_cc_all", base_off.all_rx),
+        ("no_hotspots_cc_all", base_on.all_rx),
+        ("hotspots_no_cc_hotspot", hs_off.hotspot_rx),
+        ("hotspots_no_cc_non_hotspot", hs_off.non_hotspot_rx),
+        ("hotspots_cc_hotspot", hs_on.hotspot_rx),
+        ("hotspots_cc_non_hotspot", hs_on.non_hotspot_rx),
+        ("total_no_cc", hs_off.total_rx),
+        ("total_cc", hs_on.total_rx),
+    ];
+    let mut out = String::from("metric,gbps\n");
+    for (name, v) in rows {
+        out.push_str(&format!("{name},{}\n", f3(v)));
+    }
+    out
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// TEST_8 cell at the default seed: small enough to run in debug on
+/// every `cargo test`, pinned to the exact CSV text.
+#[test]
+fn tiny_table2_csv_is_pinned() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let roles = RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: 1,
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    };
+    let dur = RunDurations {
+        warmup: TimeDelta::from_us(200),
+        measure: TimeDelta::from_us(500),
+    };
+    let csv = table2_csv(&topo, &NetConfig::paper(), roles, dur);
+    let expected = "metric,gbps\n\
+        no_hotspots_no_cc_all,3.383\n\
+        no_hotspots_cc_all,3.383\n\
+        hotspots_no_cc_hotspot,13.600\n\
+        hotspots_no_cc_non_hotspot,2.392\n\
+        hotspots_cc_hotspot,6.424\n\
+        hotspots_cc_non_hotspot,2.762\n\
+        total_no_cc,30.346\n\
+        total_cc,25.760\n";
+    assert_eq!(
+        csv, expected,
+        "tiny table2 CSV drifted — a same-seed run no longer reproduces \
+         the pinned event order (hash {:#018x})",
+        fnv1a(csv.as_bytes())
+    );
+}
+
+/// The quick preset (QUICK_72, 2 ms + 4 ms) exactly as
+/// `table2 --preset quick` runs it, pinned by FNV-1a hash.
+#[test]
+#[ignore = "simulates 24 ms of fabric time across 4 cells; run with --release -- --ignored"]
+fn quick_preset_table2_csv_hash_is_pinned() {
+    let preset = Preset::Quick;
+    let topo = preset.topology();
+    let cfg = preset.net_config();
+    let roles = RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: preset.num_hotspots(),
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    };
+    let csv = table2_csv(&topo, &cfg, roles, preset.durations());
+    assert_eq!(
+        fnv1a(csv.as_bytes()),
+        0x9abd_45e6_1b8e_c195,
+        "quick-preset table2 CSV drifted from the pinned hash; output:\n{csv}"
+    );
+}

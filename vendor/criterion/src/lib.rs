@@ -1,0 +1,238 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the benches in
+//! `crates/bench` use: `Criterion::default().sample_size(..)`,
+//! `benchmark_group` with `throughput`/`sample_size`/`bench_function`/
+//! `finish`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is simple wall-clock sampling:
+//! run the routine untimed for a warm-up period (mirroring upstream
+//! criterion's `warm_up_time`, so stateful benches measure steady
+//! state rather than their fill transient), calibrate an iteration
+//! count targeting ~2 ms per sample from the warm-up rate, time
+//! `sample_size` samples, report the median.
+//!
+//! Environment hooks tailor it to this repository's tooling:
+//! - `BENCH_JSON=<path>`: append one JSON line per benchmark
+//!   (`{"name", "ns_per_iter", "elements", "elems_per_sec"}`) — the CI
+//!   bench-smoke job collects these into `BENCH_CORE.json`.
+//! - `BENCH_QUICK=1`: clamp sample counts to 3 and the warm-up to
+//!   200 ms for smoke runs.
+//! - `BENCH_WARMUP_MS=<n>`: override the warm-up budget (default
+//!   2000 ms).
+
+pub use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Units-of-work declaration so a result can be reported as a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), self.sample_size, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    warmup_ns: u128,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up: run the routine untimed until the budget elapses.
+        // Stateful benches (e.g. event-queue churn on a queue that
+        // persists across calls) need this to get past their fill
+        // transient; without it every sample lands in the start-up
+        // phase and the reported number describes the wrong regime.
+        // The warm-up also calibrates the per-call estimate over many
+        // calls instead of a single cold one.
+        let t0 = Instant::now();
+        let mut calls: u128 = 0;
+        let warm_ns = loop {
+            black_box(routine());
+            calls += 1;
+            let el = t0.elapsed().as_nanos();
+            if el >= self.warmup_ns {
+                break el;
+            }
+        };
+        let once_ns = (warm_ns / calls).max(1);
+        let target_ns: u128 = 2_000_000;
+        let iters = (target_ns / once_ns).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+    let warmup_ms: u128 = std::env::var("BENCH_WARMUP_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 200 } else { 2_000 });
+    let mut b = Bencher {
+        sample_size: if quick { sample_size.min(3) } else { sample_size },
+        warmup_ns: warmup_ms * 1_000_000,
+        median_ns: None,
+    };
+    f(&mut b);
+    let Some(ns) = b.median_ns else {
+        eprintln!("{name}: bencher closure never called iter()");
+        return;
+    };
+
+    let rate = throughput.map(|t| {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        (n as f64 * 1e9 / ns, unit, n)
+    });
+    match rate {
+        Some((per_sec, unit, _)) => {
+            println!("{name:<45} time: {ns:>14.1} ns/iter   thrpt: {per_sec:>14.0} {unit}");
+        }
+        None => {
+            println!("{name:<45} time: {ns:>14.1} ns/iter");
+        }
+    }
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let elements = match throughput {
+            Some(Throughput::Elements(n)) => n,
+            _ => 0,
+        };
+        let elems_per_sec = if elements > 0 {
+            elements as f64 * 1e9 / ns
+        } else {
+            0.0
+        };
+        let line = format!(
+            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.1},\"elements\":{elements},\"elems_per_sec\":{elems_per_sec:.0}}}\n"
+        );
+        if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = fh.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        // Keep the unit test fast: a real warm-up budget is pointless
+        // for a stateless no-op routine.
+        std::env::set_var("BENCH_WARMUP_MS", "1");
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

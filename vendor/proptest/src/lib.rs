@@ -1,0 +1,546 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Keeps the `proptest!` macro surface this workspace uses — `pat in
+//! strategy` and `name: Type` parameters, `#![proptest_config(..)]`,
+//! range/tuple/vec/bool strategies, `prop_map`, and the `prop_assert*` /
+//! `prop_assume` macros — over a deterministic splitmix64 input stream.
+//! There is no shrinking: a failing case panics with the full input value
+//! (cases are deterministic per test name, so a failure reproduces by
+//! rerunning the test). Case count defaults to 256 and can be overridden
+//! with the `PROPTEST_CASES` environment variable, like real proptest.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// --------------------------------------------------------------------------
+// Deterministic input stream
+// --------------------------------------------------------------------------
+
+/// SplitMix64 stream; every generated case gets an independent seed.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be positive.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1]`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+}
+
+// --------------------------------------------------------------------------
+// Strategies
+// --------------------------------------------------------------------------
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.next_below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.next_below(span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.next_below(span) as i64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.next_below(span + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.next_unit_f64() as $t;
+                // Half-open: nudge an exact 1.0 draw back inside.
+                let v = self.start + u * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + rng.next_unit_f64() as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+),)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5),
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform true/false.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`], inclusive on both ends.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + if span == 0 { 0 } else { rng.next_below(span + 1) as usize };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Full-domain generation for `name: Type` proptest parameters.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning many magnitudes — without
+        // NaN/inf, which no test here wants.
+        let mag = rng.next_unit_f64() * 1e12;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `any::<T>()`: the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Runner
+// --------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive `body` over `config.cases` generated inputs. Called by the
+/// `proptest!` expansion; panics (failing the #[test]) on the first
+/// failing case, printing the input that produced it.
+pub fn run_cases<S, F>(config: ProptestConfig, name: &str, strategy: S, mut body: F)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let root = fnv1a(name);
+    let max_rejects = (config.cases as u64).saturating_mul(16).max(1024);
+    let mut rejects = 0u64;
+    let mut passed = 0u32;
+    let mut stream = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::from_seed(root.wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F)));
+        stream += 1;
+        let input = strategy.generate(&mut rng);
+        match body(input.clone()) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{name}: too many prop_assume rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed: {msg}\n  test: {name} (case {passed})\n  input: {input:?}"
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Macros
+// --------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            $crate::__proptest_args! { @parse ($cfg) (stringify!($name)) ($body) [] $($params)* }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // Done munching: build the strategy tuple and run.
+    (@parse ($cfg:expr) ($name:expr) ($body:block) [$(($pat:pat, $strat:expr))*]) => {
+        $crate::run_cases($cfg, $name, ($($strat,)*), move |($($pat,)*)| {
+            $body
+            ::std::result::Result::Ok(())
+        });
+    };
+    // `name: Type` parameters desugar to `any::<Type>()`.
+    (@parse $cfg:tt $name:tt $body:tt [$($acc:tt)*] $p:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_args! { @parse $cfg $name $body [$($acc)* ($p, $crate::any::<$ty>())] $($rest)* }
+    };
+    (@parse $cfg:tt $name:tt $body:tt [$($acc:tt)*] $p:ident : $ty:ty) => {
+        $crate::__proptest_args! { @parse $cfg $name $body [$($acc)* ($p, $crate::any::<$ty>())] }
+    };
+    // `pat in strategy` parameters.
+    (@parse $cfg:tt $name:tt $body:tt [$($acc:tt)*] $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_args! { @parse $cfg $name $body [$($acc)* ($pat, $strat)] $($rest)* }
+    };
+    (@parse $cfg:tt $name:tt $body:tt [$($acc:tt)*] $pat:pat in $strat:expr) => {
+        $crate::__proptest_args! { @parse $cfg $name $body [$($acc)* ($pat, $strat)] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0u64..100, 1..10);
+        let mut r1 = crate::TestRng::from_seed(7);
+        let mut r2 = crate::TestRng::from_seed(7);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Both parameter forms and tuple strategies in one signature.
+        fn macro_handles_both_param_forms(
+            x in 1u32..10,
+            pair in (0u8..4, prop::bool::ANY),
+            seed: u64,
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            let _ = seed;
+        }
+
+        fn ranges_inclusive(v in 0.0f64..=1.0, b in 1u8..=255) {
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(b >= 1);
+        }
+
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

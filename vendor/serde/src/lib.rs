@@ -1,0 +1,327 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so the handful of external crates the workspace uses are
+//! vendored as small, purpose-built implementations (see `vendor/` and the
+//! dependency table in DESIGN.md). This crate keeps serde's *names* —
+//! `Serialize`, `Deserialize`, `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(...)]` attributes — but swaps the visitor architecture for a
+//! simple self-describing [`Value`] tree: serializing produces a `Value`,
+//! deserializing consumes one. `serde_json` (also vendored) is the only
+//! data format, and a `Value` tree round-trips through it losslessly for
+//! every type this workspace derives.
+//!
+//! Supported attribute surface (the subset the workspace uses):
+//! - container `#[serde(default)]` — missing fields fall back to the
+//!   container's `Default`
+//! - container `#[serde(transparent)]` — single-field newtype wrappers
+//!   serialize as their inner value
+//! - field `#[serde(default)]` and `#[serde(default = "path")]`
+//! - enums in serde's externally-tagged representation: unit variants as
+//!   `"Name"`, newtype variants as `{"Name": value}`, struct variants as
+//!   `{"Name": {..fields..}}`
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized tree (the subset of JSON's data model the
+/// workspace needs). Object keys keep insertion order so serialized output
+/// matches field declaration order, exactly like real serde_json's default
+/// (non-`preserve_order`-less) struct serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|pairs| get_field(pairs, key))
+    }
+}
+
+/// Look up a field in an object's pair list (helper for derived code).
+pub fn get_field<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    _ => {
+                        return Err(Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {:?}"),
+                            v
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(concat!("{} out of range for ", stringify!($t)), n))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| Error::custom(format!("{n} out of i64 range")))?,
+                    _ => {
+                        return Err(Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {:?}"),
+                            v
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(concat!("{} out of range for ", stringify!($t)), n))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            _ => Err(Error::custom(format!("expected f64, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::custom(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(xs) if xs.len() == [$($idx),+].len() => {
+                        Ok(($($name::from_value(&xs[$idx])?,)+))
+                    }
+                    _ => Err(Error::custom(format!("expected tuple array, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u32).to_value(), Value::U64(3));
+    }
+
+    #[test]
+    fn unsigned_range_checked() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert_eq!(u8::from_value(&Value::U64(255)).unwrap(), 255);
+        assert_eq!(u32::from_value(&Value::I64(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn object_field_lookup_preserves_order() {
+        let obj = Value::Object(vec![
+            ("b".into(), Value::U64(2)),
+            ("a".into(), Value::U64(1)),
+        ]);
+        assert_eq!(obj.get("a"), Some(&Value::U64(1)));
+        assert_eq!(obj.get("missing"), None);
+    }
+}

@@ -1,0 +1,499 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Implemented directly on `proc_macro` tokens (no syn/quote — the build
+//! environment is offline). The parser handles exactly the shapes this
+//! workspace derives on: non-generic structs with named or tuple fields
+//! and non-generic enums with unit/newtype/struct variants, plus the
+//! `#[serde(default)]`, `#[serde(default = "path")]` and
+//! `#[serde(transparent)]` attributes. Field types are never parsed; the
+//! generated code leans on type inference (`from_value` in field
+//! position), which is what makes a syn-free derive practical.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+// --------------------------------------------------------------------------
+// Parsed shape
+// --------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    transparent: bool,
+    container_default: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct.
+    Named(Vec<Field>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+// --------------------------------------------------------------------------
+// Token-level parsing
+// --------------------------------------------------------------------------
+
+struct SerdeAttrs {
+    default: Option<Option<String>>,
+    transparent: bool,
+}
+
+/// Consume leading `#[...]` attributes, returning any `serde` settings.
+fn take_attrs(toks: &mut Tokens) -> SerdeAttrs {
+    let mut out = SerdeAttrs {
+        default: None,
+        transparent: false,
+    };
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        let Some(TokenTree::Group(g)) = toks.next() else {
+            panic!("expected [...] after #");
+        };
+        let mut inner = g.stream().into_iter().peekable();
+        let is_serde = matches!(inner.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comment or other attribute
+        }
+        inner.next();
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        let mut a = args.stream().into_iter().peekable();
+        while let Some(tok) = a.next() {
+            let TokenTree::Ident(key) = tok else { continue };
+            match key.to_string().as_str() {
+                "transparent" => out.transparent = true,
+                "default" => {
+                    if matches!(a.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        a.next();
+                        let Some(TokenTree::Literal(lit)) = a.next() else {
+                            panic!("expected string after default =");
+                        };
+                        let s = lit.to_string();
+                        let path = s.trim_matches('"').to_string();
+                        out.default = Some(Some(path));
+                    } else {
+                        out.default = Some(None);
+                    }
+                }
+                other => panic!("unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    out
+}
+
+/// Skip `pub` / `pub(...)` visibility tokens.
+fn skip_vis(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Skip a type expression up to a top-level `,` (angle-bracket aware).
+/// Returns false when the stream ended.
+fn skip_type(toks: &mut Tokens) -> bool {
+    let mut depth = 0i32;
+    let mut saw_any = false;
+    loop {
+        match toks.peek() {
+            None => return saw_any,
+            Some(TokenTree::Punct(p)) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        toks.next();
+                        return true;
+                    }
+                    _ => {}
+                }
+                toks.next();
+            }
+            Some(_) => {
+                toks.next();
+            }
+        }
+        saw_any = true;
+    }
+}
+
+/// Parse `name: Type, ...` named fields (the interior of a brace group).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut toks);
+        skip_vis(&mut toks);
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break;
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(Field {
+            name: name.to_string(),
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        if toks.peek().is_none() {
+            return n;
+        }
+        // A field may have attributes/visibility before the type.
+        take_attrs(&mut toks);
+        skip_vis(&mut toks);
+        if !skip_type(&mut toks) {
+            return n;
+        }
+        n += 1;
+        if toks.peek().is_none() {
+            return n;
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut toks);
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break;
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                toks.next();
+                let n = count_tuple_fields(g);
+                assert!(
+                    n == 1,
+                    "variant `{name}`: only newtype tuple variants are supported"
+                );
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume the separating comma, if any.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    let attrs = take_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let is_enum = match toks.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => false,
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => true,
+        other => panic!("expected struct or enum, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = toks.next() else {
+        panic!("expected type name");
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the vendored serde derive");
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Kind::Enum(parse_variants(g.stream()))
+            } else {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        other => panic!("unsupported item body: {other:?}"),
+    };
+    Input {
+        name: name.to_string(),
+        transparent: attrs.transparent,
+        container_default: attrs.default.is_some(),
+        kind,
+    }
+}
+
+// --------------------------------------------------------------------------
+// Code generation (string-built, parsed back into a TokenStream)
+// --------------------------------------------------------------------------
+
+fn key(name: &str) -> String {
+    format!("::std::string::String::from(\"{name}\")")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            if input.transparent {
+                assert!(fields.len() == 1, "transparent needs exactly one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({}, ::serde::Serialize::to_value(&self.{}))",
+                            key(&f.name),
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+            }
+        }
+        Kind::Tuple(n) => {
+            if *n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str({key}),",
+                        v = v.name,
+                        key = key(&v.name)
+                    ),
+                    VariantKind::Newtype => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![({key}, \
+                         ::serde::Serialize::to_value(__f0))]),",
+                        v = v.name,
+                        key = key(&v.name)
+                    ),
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({}, ::serde::Serialize::to_value({}))",
+                                    key(&f.name),
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![({key}, \
+                             ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            key = key(&v.name),
+                            pairs = pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Expression producing one named field's value out of `__fields`.
+fn named_field_expr(ty: &str, container_default: bool, f: &Field) -> String {
+    let missing = match (&f.default, container_default) {
+        (Some(Some(path)), _) => format!("{path}()"),
+        (Some(None), _) => "::std::default::Default::default()".to_string(),
+        (None, true) => format!(
+            "<{ty} as ::std::default::Default>::default().{}",
+            f.name
+        ),
+        (None, false) => format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+             \"missing field `{}` in {ty}\"))",
+            f.name
+        ),
+    };
+    format!(
+        "{f}: match ::serde::get_field(__fields, \"{f}\") {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+         ::std::option::Option::None => {{ {missing} }}\n\
+         }}",
+        f = f.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            if input.transparent {
+                assert!(fields.len() == 1, "transparent needs exactly one field");
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                let field_exprs: Vec<String> = fields
+                    .iter()
+                    .map(|f| named_field_expr(name, input.container_default, f))
+                    .collect();
+                format!(
+                    "let __fields = match v {{\n\
+                     ::serde::Value::Object(__p) => __p.as_slice(),\n\
+                     _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected object for {name}, got {{:?}}\", v))),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    field_exprs.join(",\n")
+                )
+            }
+        }
+        Kind::Tuple(n) => {
+            assert!(
+                *n == 1,
+                "only single-field tuple structs are supported by Deserialize"
+            );
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Newtype => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let field_exprs: Vec<String> = fields
+                            .iter()
+                            .map(|f| named_field_expr(name, false, f))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                             let __fields = match __inner {{\n\
+                             ::serde::Value::Object(__p) => __p.as_slice(),\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"expected object for variant `{v}` of {name}\")),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {fields} }})\n\
+                             }}",
+                            v = v.name,
+                            fields = field_exprs.join(",\n")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"bad enum encoding for {name}: {{:?}}\", v))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

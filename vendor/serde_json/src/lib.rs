@@ -1,0 +1,410 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Serializes the vendored serde [`Value`] model to JSON text (compact and
+//! pretty, matching serde_json's 2-space pretty style) and parses JSON
+//! text back into it. Just enough for this workspace: experiment specs in,
+//! result/diagnostic dumps out.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization failure.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// --------------------------------------------------------------------------
+// Writing
+// --------------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // serde_json always keeps floats distinguishable from ints.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // serde_json errors on non-finite floats; a null is more useful
+        // for diagnostics dumps than refusing to write the file.
+        out.push_str("null");
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(xs) => {
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(x, out);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, x)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(x, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Array(xs) if !xs.is_empty() => {
+            out.push_str("[\n");
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(x, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, x)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(x, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+// --------------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: u32) -> Result<Value> {
+        if depth > 128 {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_lit("null") => Ok(Value::Null),
+            Some(b't') if self.eat_lit("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut xs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(xs));
+                }
+                loop {
+                    xs.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(xs));
+                        }
+                        _ => return Err(self.err("expected , or ] in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.parse_string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected : after object key")?;
+                    let v = self.parse_value(depth + 1)?;
+                    pairs.push((k, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(self.err("expected , or } in object")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let e = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this
+                            // workspace's identifiers; map them to the
+                            // replacement character rather than erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Copy a full UTF-8 scalar.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(7)),
+            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            ("c".into(), Value::Str("x\"y".into())),
+            ("d".into(), Value::F64(1.5)),
+            ("e".into(), Value::I64(-3)),
+        ]);
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_uses_two_space_indent() {
+        let v = Value::Object(vec![("a".into(), Value::U64(7))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 7\n}");
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let s = to_string(&Value::F64(2.0)).unwrap();
+        assert_eq!(s, "2.0");
+        assert_eq!(from_str::<Value>("2.0").unwrap(), Value::F64(2.0));
+        assert_eq!(from_str::<Value>("2").unwrap(), Value::U64(2));
+        assert_eq!(from_str::<Value>("-2").unwrap(), Value::I64(-2));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Value>("{} x").is_err());
+    }
+}
