@@ -50,6 +50,10 @@ pub struct HcaCc {
     throttled: usize,
     // ---- statistics ----------------------------------------------------
     becns_received: u64,
+    /// BECNs that actually moved a CCTI upward (a BECN against a flow
+    /// already clamped at CCTI_Limit raises nothing). Along the
+    /// notification chain this can never exceed `becns_received`.
+    ccti_raises: u64,
 }
 
 impl HcaCc {
@@ -59,6 +63,7 @@ impl HcaCc {
             flows: Vec::new(),
             throttled: 0,
             becns_received: 0,
+            ccti_raises: 0,
         }
     }
 
@@ -104,8 +109,13 @@ impl HcaCc {
         let f = self.slot_mut(key);
         f.tracked = true;
         let was_min = f.ccti <= min;
+        let before = f.ccti;
         f.ccti = f.ccti.saturating_add(inc).min(limit);
-        if was_min && f.ccti > min {
+        let after = f.ccti;
+        if after > before {
+            self.ccti_raises += 1;
+        }
+        if was_min && after > min {
             self.throttled += 1;
         }
     }
@@ -172,6 +182,41 @@ impl HcaCc {
 
     pub fn becns_received(&self) -> u64 {
         self.becns_received
+    }
+
+    /// BECNs that actually increased a CCTI (see the field doc).
+    pub fn ccti_raises(&self) -> u64 {
+        self.ccti_raises
+    }
+
+    /// Verify this agent's own invariants: every CCTI within
+    /// `[0, CCTI_Limit]`, the cached throttled-flow counter equal to a
+    /// recount, and CCTI raises not exceeding BECNs. Returns the first
+    /// inconsistency as a structured message.
+    pub fn audit(&self) -> Result<(), String> {
+        let p = &self.params;
+        for (key, f) in self.flows.iter().enumerate() {
+            if f.ccti > p.ccti_limit {
+                return Err(format!(
+                    "flow {key}: CCTI {} above CCTI_Limit {}",
+                    f.ccti, p.ccti_limit
+                ));
+            }
+        }
+        let recount = self.flows.iter().filter(|f| f.ccti > p.ccti_min).count();
+        if recount != self.throttled {
+            return Err(format!(
+                "throttled-flow counter {} but recount {}",
+                self.throttled, recount
+            ));
+        }
+        if self.ccti_raises > self.becns_received {
+            return Err(format!(
+                "{} CCTI raises from only {} BECNs",
+                self.ccti_raises, self.becns_received
+            ));
+        }
+        Ok(())
     }
 
     /// Largest CCTI across flows (0 when none) — a useful gauge of how
@@ -278,6 +323,28 @@ mod tests {
         assert_eq!(c.ccti(1), 2, "floored at CCTI_Min");
         // And an untouched flow reports CCTI_Min.
         assert_eq!(c.ccti(99), 2);
+    }
+
+    #[test]
+    fn ccti_raises_stop_at_the_limit() {
+        let mut c = cc();
+        for _ in 0..200 {
+            c.on_becn(5);
+        }
+        assert_eq!(c.becns_received(), 200);
+        assert_eq!(c.ccti_raises(), 127, "raises stop once clamped at limit");
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_is_clean_under_a_mixed_schedule() {
+        let mut c = cc();
+        for k in [1u32, 2, 1, 3, 1] {
+            c.on_becn(k);
+        }
+        c.on_timer();
+        c.on_timer();
+        c.audit().unwrap();
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the congestion-control state machines.
 
-use ibsim_cc::{CcParams, Cct, CctShape, HcaCc, PortVlCongestion};
+use ibsim_cc::{CcMode, CcParams, Cct, CctShape, HcaCc, PortVlCongestion};
 use ibsim_engine::time::{Time, TimeDelta};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -131,6 +131,105 @@ proptest! {
             prop_assert!(th >= 1);
             last = th;
         }
+    }
+
+    /// CCT boundary indexing: index 0 reads the first entry, the last
+    /// valid index reads the last entry, and anything beyond clamps to
+    /// it instead of walking off the table.
+    #[test]
+    fn cct_boundary_indexing(len in 1usize..300, step in 1u32..50, over in 0u16..500) {
+        let t = Cct::populate(len, CctShape::Linear { step });
+        prop_assert_eq!(t.multiplier(0), 0);
+        let last_idx = (len - 1) as u16;
+        let last = (len - 1) as u32 * step;
+        prop_assert_eq!(t.multiplier(last_idx), last);
+        prop_assert_eq!(t.multiplier(last_idx + over), last);
+    }
+
+    /// Timer recovery floors at CCTI_Min: from any BECN burst, each
+    /// tick walks the index down by exactly one until the floor — and a
+    /// flow that never climbed above the floor is left alone.
+    #[test]
+    fn timer_recovery_floors_at_ccti_min(
+        min_ in 1u16..8,
+        becns in 1u16..200,
+        ticks in 0u16..200,
+    ) {
+        let mut params = CcParams::paper_table1();
+        params.ccti_min = min_;
+        prop_assert!(params.validate().is_ok());
+        let (inc, limit) = (params.ccti_increase, params.ccti_limit);
+        let mut cc = HcaCc::new(Arc::new(params));
+        for _ in 0..becns {
+            cc.on_becn(3);
+        }
+        for _ in 0..ticks {
+            cc.on_timer();
+        }
+        let start = becns.saturating_mul(inc).min(limit);
+        let expect = if start > min_ {
+            start.saturating_sub(ticks).max(min_)
+        } else {
+            start // at or below the floor: the timer must not touch it
+        };
+        prop_assert_eq!(cc.ccti(3), expect);
+        prop_assert!(cc.audit().is_ok());
+    }
+
+    /// `ccti_raises` counts exactly the BECNs that moved the index:
+    /// once the limit is reached, BECNs keep arriving but raises stop.
+    #[test]
+    fn ccti_raises_count_only_movement(becns in 0u32..400) {
+        let params = CcParams::paper_table1();
+        let (inc, limit) = (params.ccti_increase, params.ccti_limit);
+        let mut cc = HcaCc::new(Arc::new(params));
+        for _ in 0..becns {
+            cc.on_becn(0);
+        }
+        let moving = (limit as u32).div_ceil(inc as u32) as u64;
+        prop_assert_eq!(cc.ccti_raises(), (becns as u64).min(moving));
+        prop_assert_eq!(cc.becns_received(), becns as u64);
+        prop_assert!(cc.audit().is_ok());
+    }
+
+    /// QP-keyed and SL-keyed CC are indistinguishable for a single
+    /// flow: the key spaces differ, the per-flow state machine must
+    /// not.
+    #[test]
+    fn qp_and_sl_modes_agree_on_a_single_flow(
+        dst in 0u32..1000,
+        sl_in in 0u8..16,
+        ops in prop::collection::vec((prop::bool::ANY, 1u64..5000), 1..200),
+    ) {
+        let mut qp_params = CcParams::paper_table1();
+        qp_params.mode = CcMode::QueuePair;
+        let mut sl_params = CcParams::paper_table1();
+        sl_params.mode = CcMode::ServiceLevel;
+        let mut qp = HcaCc::new(Arc::new(qp_params));
+        let mut sl = HcaCc::new(Arc::new(sl_params));
+        let kq = qp.flow_key(dst, sl_in);
+        let ks = sl.flow_key(dst, sl_in);
+        let mut t = Time::from_ns(1);
+        for (becn, pkt_ns) in ops {
+            if becn {
+                qp.on_becn(kq);
+                sl.on_becn(ks);
+            } else {
+                qp.on_timer();
+                sl.on_timer();
+            }
+            prop_assert_eq!(qp.ccti(kq), sl.ccti(ks));
+            prop_assert_eq!(qp.throttled_flows(), sl.throttled_flows());
+            let dt = TimeDelta::from_ns(pkt_ns);
+            qp.note_packet_sent(kq, t + dt, dt);
+            sl.note_packet_sent(ks, t + dt, dt);
+            prop_assert_eq!(qp.next_allowed(kq), sl.next_allowed(ks));
+            t += dt;
+        }
+        prop_assert_eq!(qp.becns_received(), sl.becns_received());
+        prop_assert_eq!(qp.ccti_raises(), sl.ccti_raises());
+        prop_assert!(qp.audit().is_ok());
+        prop_assert!(sl.audit().is_ok());
     }
 
     /// next_allowed gates reflect the current CCTI at send time.

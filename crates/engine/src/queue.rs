@@ -135,6 +135,10 @@ pub struct CalendarQueue<E> {
     seq: u64,
     now: Time,
     processed: u64,
+    /// `(time, seq)` of the last popped event — the pop stream is
+    /// strictly monotone in this key, and invariant auditors read it to
+    /// verify exactly that.
+    last_pop: Option<(Time, u64)>,
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -181,6 +185,7 @@ impl<E> CalendarQueue<E> {
             seq: 0,
             now: Time::ZERO,
             processed: 0,
+            last_pop: None,
         }
     }
 
@@ -188,6 +193,14 @@ impl<E> CalendarQueue<E> {
     #[inline]
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// `(time, seq)` key of the most recently popped event, if any.
+    /// Consecutive pops are strictly increasing in this key — the
+    /// determinism contract both queue implementations share.
+    #[inline]
+    pub fn last_pop(&self) -> Option<(Time, u64)> {
+        self.last_pop
     }
 
     /// Number of events popped so far.
@@ -496,7 +509,15 @@ impl<E> CalendarQueue<E> {
             }
         };
         debug_assert!(e.at >= self.now, "time went backwards");
+        debug_assert!(
+            self.last_pop.is_none_or(|k| (e.at, e.seq) > k),
+            "pop order regressed: ({:?}, {}) after {:?}",
+            e.at,
+            e.seq,
+            self.last_pop
+        );
         self.now = e.at;
+        self.last_pop = Some((e.at, e.seq));
         self.processed += 1;
         // Slide the window forward with the clock: buckets falling off
         // the back are provably empty (every remaining event's time is
@@ -545,6 +566,7 @@ impl<E> CalendarQueue<E> {
         self.seq = 0;
         self.now = Time::ZERO;
         self.processed = 0;
+        self.last_pop = None;
     }
 }
 
@@ -559,6 +581,8 @@ pub struct HeapQueue<E> {
     seq: u64,
     now: Time,
     processed: u64,
+    /// `(time, seq)` of the last popped event (see [`CalendarQueue::last_pop`]).
+    last_pop: Option<(Time, u64)>,
 }
 
 impl<E> Default for HeapQueue<E> {
@@ -579,6 +603,7 @@ impl<E> HeapQueue<E> {
             seq: 0,
             now: Time::ZERO,
             processed: 0,
+            last_pop: None,
         }
     }
 
@@ -586,6 +611,12 @@ impl<E> HeapQueue<E> {
     #[inline]
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// `(time, seq)` key of the most recently popped event, if any.
+    #[inline]
+    pub fn last_pop(&self) -> Option<(Time, u64)> {
+        self.last_pop
     }
 
     /// Number of events popped so far.
@@ -635,7 +666,15 @@ impl<E> HeapQueue<E> {
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let e = self.heap.pop()?;
         debug_assert!(e.at >= self.now, "time went backwards");
+        debug_assert!(
+            self.last_pop.is_none_or(|k| (e.at, e.seq) > k),
+            "pop order regressed: ({:?}, {}) after {:?}",
+            e.at,
+            e.seq,
+            self.last_pop
+        );
         self.now = e.at;
+        self.last_pop = Some((e.at, e.seq));
         self.processed += 1;
         Some((e.at, e.event))
     }
@@ -655,6 +694,7 @@ impl<E> HeapQueue<E> {
         self.seq = 0;
         self.now = Time::ZERO;
         self.processed = 0;
+        self.last_pop = None;
     }
 }
 

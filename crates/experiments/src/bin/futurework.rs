@@ -22,6 +22,7 @@ struct Case {
 
 fn main() {
     let args = Args::parse();
+    args.apply_audit();
     let dur = RunDurations::new_ms(2, 4);
 
     let cases = vec![

@@ -26,6 +26,7 @@ fn run_point(topo: &Topology, cfg: &NetConfig, p: &Point, measure: TimeDelta) ->
         c.cc = None;
     }
     let mut net = Network::new(topo, c);
+    ibsim::audit::arm(&mut net);
     for n in 0..topo.num_hcas as u32 {
         net.set_classes(
             n,
@@ -40,6 +41,7 @@ fn run_point(topo: &Topology, cfg: &NetConfig, p: &Point, measure: TimeDelta) ->
     net.start_measurement();
     net.run_until(Time::ZERO + measure + measure);
     net.stop_measurement();
+    net.audit_now().raise();
     let lat = net.latency_histogram();
     let rx: f64 = (0..topo.num_hcas as u32)
         .map(|n| net.rx_gbps(n))
@@ -51,6 +53,7 @@ fn run_point(topo: &Topology, cfg: &NetConfig, p: &Point, measure: TimeDelta) ->
 
 fn main() {
     let args = Args::parse();
+    args.apply_audit();
     let preset = args.preset();
     let topo = preset.topology();
     let cfg = preset.net_config().with_seed(args.seed());

@@ -24,6 +24,7 @@ struct Candidate {
 
 fn main() {
     let args = Args::parse();
+    args.apply_audit();
     let preset = args.preset();
     let topo = preset.topology();
     let dur = preset.durations();

@@ -88,6 +88,16 @@ impl Args {
     pub fn out_dir(&self) -> std::path::PathBuf {
         std::path::PathBuf::from(self.get("out").unwrap_or("results"))
     }
+
+    /// Apply the shared `--audit` flag: force the fabric invariant
+    /// oracle on for every run this process performs. Without the flag
+    /// the environment (`IBSIM_AUDIT`) still decides, so the CI audit
+    /// leg covers binaries that were launched without it.
+    pub fn apply_audit(&self) {
+        if self.get_flag("audit") {
+            ibsim::audit::force(true);
+        }
+    }
 }
 
 /// Format a float with 3 decimals for tables.

@@ -1,0 +1,448 @@
+//! The network-level invariant oracle: conservation ledgers recomputed
+//! from first principles against the live [`Network`] state.
+//!
+//! The simulator's results are only as trustworthy as its physics. This
+//! module maintains, per unidirectional channel and VL, the two pieces
+//! of state the device models do *not* track — blocks in flight on the
+//! wire and credit returns scheduled but not yet delivered — and at
+//! every audit pass closes the books:
+//!
+//! ```text
+//! sender credits + on-wire + buffered downstream + pending returns
+//!     == downstream input-buffer capacity          (per channel, VL)
+//! injected == delivered + CNPs delivered + in flight (wire/VoQ/sink)
+//! FECN marks >= CNPs queued >= sent >= delivered == BECNs >= raises
+//! every CCTI in [0, CCTI_Limit]; the recovery timer only decreases
+//! detector occupancy == bytes standing in the VoQs it watches
+//! event-queue pops strictly monotone in (time, seq)
+//! ```
+//!
+//! The ledger updates are O(1) per event and only run when the audit is
+//! enabled ([`Network::enable_audit`]); the full pass is O(fabric) and
+//! runs at the configured cadence plus at end of run.
+
+use crate::network::{Dev, Network};
+use crate::types::Vl;
+use ibsim_check::{Audit, AuditReport, LedgerKind, Violation};
+use ibsim_engine::time::Time;
+
+/// The per-network audit state. Lives behind an `Option<Box<..>>` on
+/// [`Network`], so the disabled path costs one branch per event.
+#[derive(Debug)]
+pub struct NetAudit {
+    cadence: Audit,
+    n_vls: usize,
+    /// Blocks on the wire per `channel * n_vls + vl`. Signed so a
+    /// double-free shows up as a negative balance, not a wrapped panic.
+    on_wire_blocks: Vec<i64>,
+    /// Whole packets on the wire per channel.
+    on_wire_packets: Vec<i64>,
+    /// Credit-return blocks scheduled upstream but not yet applied,
+    /// per `channel * n_vls + vl` (the channel whose sender gets them).
+    pending_credit_blocks: Vec<i64>,
+    /// The (time, seq) key of the pop seen at the previous pass.
+    last_seen_pop: Option<(Time, u64)>,
+    seen_processed: u64,
+    /// Violations observed inline between passes (timer monotonicity),
+    /// drained into the next report.
+    deferred: Vec<Violation>,
+}
+
+impl NetAudit {
+    pub fn new(channels: usize, n_vls: usize, every: u64) -> Self {
+        NetAudit {
+            cadence: Audit::every(every),
+            n_vls,
+            on_wire_blocks: vec![0; channels * n_vls],
+            on_wire_packets: vec![0; channels],
+            pending_credit_blocks: vec![0; channels * n_vls],
+            last_seen_pop: None,
+            seen_processed: 0,
+            deferred: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, ch: u32, vl: Vl) -> usize {
+        ch as usize * self.n_vls + vl as usize
+    }
+
+    // ---- O(1) ledger updates, one per dispatch site ---------------------
+
+    /// A switch grant put `blocks` on `out_ch` and scheduled a credit
+    /// return to the sender of `in_ch`.
+    #[inline]
+    pub(crate) fn note_grant(&mut self, out_ch: u32, in_ch: u32, vl: Vl, blocks: u32) {
+        let (wire, pend) = (self.slot(out_ch, vl), self.slot(in_ch, vl));
+        self.on_wire_blocks[wire] += blocks as i64;
+        self.on_wire_packets[out_ch as usize] += 1;
+        self.pending_credit_blocks[pend] += blocks as i64;
+    }
+
+    /// An HCA injected `blocks` onto `out_ch`.
+    #[inline]
+    pub(crate) fn note_send(&mut self, out_ch: u32, vl: Vl, blocks: u32) {
+        let slot = self.slot(out_ch, vl);
+        self.on_wire_blocks[slot] += blocks as i64;
+        self.on_wire_packets[out_ch as usize] += 1;
+    }
+
+    /// A packet left the wire of `ch` (arrived at the downstream device).
+    #[inline]
+    pub(crate) fn note_arrive(&mut self, ch: u32, vl: Vl, blocks: u32) {
+        let slot = self.slot(ch, vl);
+        self.on_wire_blocks[slot] -= blocks as i64;
+        self.on_wire_packets[ch as usize] -= 1;
+    }
+
+    /// A sink drain freed `blocks` of `ch`'s downstream buffer; the
+    /// credit return is now in flight.
+    #[inline]
+    pub(crate) fn note_credit_pending(&mut self, ch: u32, vl: Vl, blocks: u32) {
+        let slot = self.slot(ch, vl);
+        self.pending_credit_blocks[slot] += blocks as i64;
+    }
+
+    /// A credit return for `ch` reached its sender.
+    #[inline]
+    pub(crate) fn note_credit_returned(&mut self, ch: u32, vl: Vl, blocks: u32) {
+        let slot = self.slot(ch, vl);
+        self.pending_credit_blocks[slot] -= blocks as i64;
+    }
+
+    /// The CCTI recovery timer must only ever decrease table indices.
+    #[inline]
+    pub(crate) fn note_timer(&mut self, hca: u32, now: Time, before: u16, after: u16) {
+        if after > before {
+            self.deferred.push(Violation {
+                ledger: LedgerKind::CctiBounds,
+                at_ps: now.as_ps(),
+                subject: format!("hca {hca} recovery timer"),
+                expected: format!("max CCTI <= {before} after on_timer"),
+                actual: after.to_string(),
+                detail: "the recovery timer may only decrease CCTIs".into(),
+            });
+        }
+    }
+
+    /// True when the periodic pass is due.
+    #[inline]
+    pub(crate) fn due(&mut self, events_processed: u64) -> bool {
+        self.cadence.due(events_processed)
+    }
+
+    pub fn interval(&self) -> u64 {
+        self.cadence.interval()
+    }
+
+    // ---- the full pass ---------------------------------------------------
+
+    /// Recompute every ledger against `net` and return the report.
+    pub fn check(&mut self, net: &Network) -> AuditReport {
+        self.cadence.note_pass();
+        let mut r = AuditReport {
+            at_ps: net.now().as_ps(),
+            events_processed: net.events_processed(),
+            checks_run: self.cadence.checks_run(),
+            violations: std::mem::take(&mut self.deferred),
+        };
+        self.check_event_order(net, &mut r);
+        self.check_credits(net, &mut r);
+        self.check_packets(net, &mut r);
+        self.check_notification_chain(net, &mut r);
+        self.check_ccti_bounds(net, &mut r);
+        self.check_congestion_occupancy(net, &mut r);
+        r
+    }
+
+    /// Per-(channel, VL) credit conservation. The four terms partition
+    /// the downstream input buffer: credits the sender may still spend,
+    /// blocks serialising on the wire, blocks standing in the downstream
+    /// buffer, and credit returns flying back.
+    fn check_credits(&self, net: &Network, r: &mut AuditReport) {
+        for (id, ch) in net.channels.iter().enumerate() {
+            let capacity = match ch.to.0 {
+                Dev::Switch(_) => net.cfg.switch_ibuf_blocks,
+                Dev::Hca(_) => net.cfg.hca_ibuf_blocks,
+            } as i64;
+            for vl in 0..self.n_vls {
+                let sender = match ch.from {
+                    (Dev::Switch(s), port) => {
+                        net.switches[s as usize].ports[port as usize].credits[vl]
+                    }
+                    (Dev::Hca(h), _) => net.hcas[h as usize].credits[vl],
+                } as i64;
+                let wire = self.on_wire_blocks[id * self.n_vls + vl];
+                let buffered = match ch.to {
+                    (Dev::Switch(s), port) => {
+                        net.switches[s as usize].buffered_blocks(port, vl as Vl)
+                    }
+                    (Dev::Hca(h), _) => net.hcas[h as usize].sink_blocks(vl as Vl),
+                } as i64;
+                let pending = self.pending_credit_blocks[id * self.n_vls + vl];
+                let total = sender + wire + buffered + pending;
+                let detail = format!(
+                    "sender={sender} wire={wire} buffered={buffered} pending={pending}"
+                );
+                if total != capacity {
+                    r.violate(
+                        LedgerKind::Credits,
+                        format!("channel {id} VL {vl}"),
+                        format!("{capacity} blocks conserved"),
+                        total,
+                        detail,
+                    );
+                } else if wire < 0 || pending < 0 || sender > capacity {
+                    // The sum can balance even when individual terms are
+                    // out of range (e.g. a double-returned credit paired
+                    // with a negative pending count).
+                    r.violate(
+                        LedgerKind::Credits,
+                        format!("channel {id} VL {vl}"),
+                        format!("every term in [0, {capacity}]"),
+                        detail.clone(),
+                        detail,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fabric-wide packet conservation: the lossless network neither
+    /// drops nor duplicates.
+    fn check_packets(&self, net: &Network, r: &mut AuditReport) {
+        let injected: u64 = net.hcas.iter().map(|h| h.injected_packets).sum();
+        let delivered: u64 = net
+            .hcas
+            .iter()
+            .map(|h| h.delivered_packets + h.cnps_delivered)
+            .sum();
+        let on_wire: i64 = self.on_wire_packets.iter().sum();
+        let in_voq: usize = net
+            .switches
+            .iter()
+            .flat_map(|s| s.ports.iter())
+            .map(|p| p.queued_packets())
+            .sum();
+        let in_sink: usize = net.hcas.iter().map(|h| h.sink_depth()).sum();
+        let accounted = delivered as i64 + on_wire + in_voq as i64 + in_sink as i64;
+        if accounted != injected as i64 {
+            r.violate(
+                LedgerKind::Packets,
+                "fabric",
+                format!("{injected} injected packets accounted for"),
+                accounted,
+                format!(
+                    "delivered={delivered} wire={on_wire} voq={in_voq} sink={in_sink}"
+                ),
+            );
+        }
+    }
+
+    /// The FECN → BECN → CCTI chain only attenuates.
+    fn check_notification_chain(&self, net: &Network, r: &mut AuditReport) {
+        if !net.cc_enabled() {
+            return;
+        }
+        let marks: u64 = net.switches.iter().map(|s| s.marked_packets()).sum();
+        let queued: u64 = net
+            .hcas
+            .iter()
+            .map(|h| h.cnps_sent + h.pending_cnps() as u64)
+            .sum();
+        let sent: u64 = net.hcas.iter().map(|h| h.cnps_sent).sum();
+        let delivered: u64 = net.hcas.iter().map(|h| h.cnps_delivered).sum();
+        let becns: u64 = net.hcas.iter().map(|h| h.cc.becns_received()).sum();
+        let raises: u64 = net.hcas.iter().map(|h| h.cc.ccti_raises()).sum();
+        let detail = format!(
+            "marks={marks} cnps_queued={queued} cnps_sent={sent} \
+             cnps_delivered={delivered} becns={becns} ccti_raises={raises}"
+        );
+        let chain = [
+            (marks >= queued, "marks >= CNPs ever queued"),
+            (queued >= sent, "CNPs queued >= CNPs sent"),
+            (sent >= delivered, "CNPs sent >= CNPs delivered"),
+            (delivered == becns, "CNPs delivered == BECNs processed"),
+            (becns >= raises, "BECNs processed >= CCTI raises"),
+        ];
+        for (holds, law) in chain {
+            if !holds {
+                r.violate(
+                    LedgerKind::NotificationChain,
+                    "fabric",
+                    law,
+                    "violated",
+                    detail.clone(),
+                );
+            }
+        }
+    }
+
+    /// Delegate the CA-side table checks to each HCA's CC agent.
+    fn check_ccti_bounds(&self, net: &Network, r: &mut AuditReport) {
+        if !net.cc_enabled() {
+            return;
+        }
+        for (i, h) in net.hcas.iter().enumerate() {
+            if let Err(why) = h.cc.audit() {
+                r.violate(
+                    LedgerKind::CctiBounds,
+                    format!("hca {i}"),
+                    "CC state within Annex A10 bounds",
+                    "violated",
+                    why,
+                );
+            }
+        }
+    }
+
+    /// The congestion detector's occupancy counter against the ground
+    /// truth: bytes actually standing in the VoQs toward (port, VL).
+    fn check_congestion_occupancy(&self, net: &Network, r: &mut AuditReport) {
+        for (si, sw) in net.switches.iter().enumerate() {
+            for (o, port) in sw.ports.iter().enumerate() {
+                for (vl, cong) in port.cong.iter().enumerate() {
+                    let truth = sw.queued_bytes_toward(o as u16, vl as Vl);
+                    if cong.queued_bytes() != truth {
+                        r.violate(
+                            LedgerKind::CongestionOccupancy,
+                            format!("switch {si} port {o} VL {vl}"),
+                            format!("{truth} queued bytes"),
+                            cong.queued_bytes(),
+                            "detector occupancy out of sync with the VoQs",
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Event pops must advance strictly in (time, seq) between passes.
+    fn check_event_order(&mut self, net: &Network, r: &mut AuditReport) {
+        let pop = net.last_event_key();
+        let processed = net.events_processed();
+        if processed > self.seen_processed {
+            let regressed = match (self.last_seen_pop, pop) {
+                (Some(prev), Some(cur)) => cur <= prev,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if regressed {
+                r.violate(
+                    LedgerKind::EventOrder,
+                    "event queue",
+                    format!("pop key strictly after {:?}", self.last_seen_pop),
+                    format!("{pop:?}"),
+                    format!("{} events since previous pass", processed - self.seen_processed),
+                );
+            }
+        }
+        self.last_seen_pop = pop;
+        self.seen_processed = processed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::NetConfig;
+    use crate::gen::{DestPattern, TrafficClass};
+    use crate::network::Network;
+    use ibsim_check::LedgerKind;
+    use ibsim_engine::time::Time;
+    use ibsim_topo::single_switch;
+
+    fn loaded_net(cfg: NetConfig) -> Network {
+        let topo = single_switch(8, 4);
+        let mut net = Network::new(&topo, cfg);
+        for n in 1..4u32 {
+            net.set_classes(
+                n,
+                vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)],
+            );
+        }
+        net
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let mut net = loaded_net(NetConfig::paper());
+        net.enable_audit(1_000);
+        net.run_until(Time::from_us(300));
+        let report = net.audit_now();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.checks_run > 1, "periodic passes must have fired");
+    }
+
+    #[test]
+    fn clean_run_audits_clean_without_cc() {
+        let mut net = loaded_net(NetConfig::paper_no_cc());
+        net.enable_audit(1_000);
+        net.run_until(Time::from_us(300));
+        let report = net.audit_now();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn audit_does_not_perturb_the_simulation() {
+        let run = |audit: bool| {
+            let mut net = loaded_net(NetConfig::paper());
+            if audit {
+                net.enable_audit(500);
+            }
+            net.run_until(Time::from_us(300));
+            (
+                net.now(),
+                net.events_processed(),
+                net.total_injected_packets(),
+                net.total_delivered_packets(),
+                net.total_fecn_marks(),
+            )
+        };
+        assert_eq!(run(false), run(true), "the oracle must be observational");
+    }
+
+    #[test]
+    fn injected_credit_leak_is_caught_and_named() {
+        let mut net = loaded_net(NetConfig::paper());
+        net.enable_audit(u64::MAX); // end-of-run pass only
+        net.run_until(Time::from_us(100));
+        // Fault injection: eat 3 credit blocks on the switch's port 0
+        // output (toward the hotspot HCA), as a buggy arbiter would.
+        net.switches[0].leak_credits_for_test(0, 0, 3);
+        let report = net.audit_now();
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.ledger == LedgerKind::Credits)
+            .expect("the leak must surface on the credits ledger");
+        assert!(v.subject.contains("VL 0"), "subject: {}", v.subject);
+        assert!(
+            v.detail.contains("sender="),
+            "diff must show the ledger terms: {}",
+            v.detail
+        );
+    }
+
+    #[test]
+    fn report_localises_the_leaked_channel() {
+        // The violation must name the channel whose books no longer
+        // balance — switch port 1's output — and only that channel.
+        let mut net = loaded_net(NetConfig::paper());
+        net.enable_audit(u64::MAX);
+        net.run_until(Time::from_us(100));
+        net.switches[0].leak_credits_for_test(1, 0, 5);
+        let report = net.audit_now();
+        let creds: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.ledger == LedgerKind::Credits)
+            .collect();
+        assert_eq!(creds.len(), 1, "{}", report.render());
+        let expect_ch = net.switches[0].ports[1].out_channel.unwrap();
+        assert!(
+            creds[0].subject.contains(&format!("channel {expect_ch} ")),
+            "subject: {}",
+            creds[0].subject
+        );
+    }
+}

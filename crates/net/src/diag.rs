@@ -21,6 +21,9 @@ pub struct SwitchSnapshot {
     pub marked_packets: u64,
     /// Packets forwarded so far.
     pub forwarded_packets: u64,
+    /// Arbitration rounds that found a ready packet but no credits —
+    /// the `Xmit_Wait`-style stalled-cycles counter of real switches.
+    pub stalled_rounds: u64,
 }
 
 /// Aggregate state of one HCA at a point in time.
@@ -54,16 +57,25 @@ impl NetworkSnapshot {
             .iter()
             .enumerate()
             .map(|(i, sw)| {
-                let queued: usize = (0..sw.radix()).map(|p| sw.queued_toward(p as u16)).sum();
-                let congested = (0..sw.radix())
-                    .filter(|&p| sw.ports[p].cong.iter().any(|c| c.in_congestion()))
-                    .count();
+                // One walk over the ports gathers every aggregate;
+                // each port's VoQs and detectors are visited once.
+                let mut queued = 0;
+                let mut congested = 0;
+                let mut forwarded = 0;
+                let mut stalled = 0;
+                for p in &sw.ports {
+                    queued += p.queued_packets();
+                    congested += usize::from(p.cong.iter().any(|c| c.in_congestion()));
+                    forwarded += p.forwarded_packets;
+                    stalled += p.xmit_wait;
+                }
                 SwitchSnapshot {
                     switch: i,
                     queued_packets: queued,
                     congested_ports: congested,
                     marked_packets: sw.marked_packets(),
-                    forwarded_packets: sw.ports.iter().map(|p| p.forwarded_packets).sum(),
+                    forwarded_packets: forwarded,
+                    stalled_rounds: stalled,
                 }
             })
             .collect();
@@ -163,6 +175,18 @@ mod tests {
         assert!(snap.braking_sources() >= 1, "sources throttled");
         assert!(snap.switches[0].marked_packets > 0);
         assert!(snap.hcas.iter().any(|h| h.becns_received > 0));
+    }
+
+    #[test]
+    fn hotspot_backpressure_shows_as_stalled_rounds() {
+        // Three senders into one drain-limited sink: the hot output
+        // port must spend arbitration rounds credit-blocked.
+        let net = congested_net(false);
+        let snap = NetworkSnapshot::capture(&net);
+        assert!(
+            snap.switches[0].stalled_rounds > 0,
+            "no stalls recorded under a saturated hotspot"
+        );
     }
 
     #[test]

@@ -311,6 +311,18 @@ impl Hca {
     pub fn sink_depth(&self) -> usize {
         self.sink_queue.len() + usize::from(self.draining.is_some())
     }
+
+    /// Blocks of sink-side buffer still held on `vl`: everything queued
+    /// or draining whose credits have not yet been returned upstream.
+    /// One term of the per-(channel, VL) credit ledger.
+    pub fn sink_blocks(&self, vl: Vl) -> u64 {
+        self.sink_queue
+            .iter()
+            .chain(self.draining.iter())
+            .filter(|p| p.vl == vl)
+            .map(|p| p.blocks() as u64)
+            .sum()
+    }
 }
 
 #[cfg(test)]

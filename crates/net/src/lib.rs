@@ -19,6 +19,7 @@
 //! Build a [`network::Network`] from an `ibsim-topo` topology plus a
 //! [`config::NetConfig`], install [`gen::TrafficClass`]es, and run.
 
+pub mod audit;
 pub mod config;
 pub mod diag;
 pub mod gen;
@@ -29,6 +30,7 @@ pub mod trace;
 pub mod types;
 pub mod vlarb;
 
+pub use audit::NetAudit;
 pub use config::NetConfig;
 pub use diag::NetworkSnapshot;
 pub use gen::{DestPattern, TrafficClass, PAPER_MSG_BYTES};

@@ -1,5 +1,6 @@
 //! The assembled network: devices wired per a topology, one event loop.
 
+use crate::audit::NetAudit;
 use crate::config::NetConfig;
 use crate::gen::TrafficClass;
 use crate::hca::{Hca, NextSend};
@@ -69,6 +70,8 @@ pub struct Network {
     pub channels: Vec<Channel>,
     cc_params: Option<Arc<ibsim_cc::CcParams>>,
     tracer: Option<Tracer>,
+    /// The invariant oracle; `None` costs one branch per event.
+    audit: Option<Box<NetAudit>>,
     primed: bool,
     measuring_since: Option<Time>,
     measured_until: Option<Time>,
@@ -192,6 +195,7 @@ impl Network {
             channels,
             cc_params,
             tracer: None,
+            audit: None,
             primed: false,
             measuring_since: None,
             measured_until: None,
@@ -219,6 +223,56 @@ impl Network {
         // The class may have been parked with an unreachable wakeup;
         // give the injector a nudge.
         self.nudge_hca(node);
+    }
+
+    /// Turn the invariant oracle on, auditing every `every` processed
+    /// events (plus whenever [`Network::audit_now`] is called). Must be
+    /// enabled before the first event is dispatched — the conservation
+    /// ledgers start from an empty fabric.
+    pub fn enable_audit(&mut self, every: u64) {
+        assert!(
+            self.queue.processed() == 0,
+            "enable_audit after events were dispatched"
+        );
+        self.audit = Some(Box::new(NetAudit::new(
+            self.channels.len(),
+            self.cfg.n_vls as usize,
+            every,
+        )));
+    }
+
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Run a full audit pass now and return the report (clean and empty
+    /// when the oracle is disabled). The caller decides whether to
+    /// [`ibsim_check::AuditReport::raise`].
+    pub fn audit_now(&mut self) -> ibsim_check::AuditReport {
+        match self.audit.take() {
+            Some(mut a) => {
+                let report = a.check(self);
+                self.audit = Some(a);
+                report
+            }
+            None => ibsim_check::AuditReport::default(),
+        }
+    }
+
+    /// True when the periodic cadence wants a pass (advances the
+    /// schedule).
+    #[inline]
+    fn audit_due(&mut self) -> bool {
+        let processed = self.queue.processed();
+        match &mut self.audit {
+            Some(a) => a.due(processed),
+            None => false,
+        }
+    }
+
+    /// The (time, seq) key of the most recent event pop, if any.
+    pub fn last_event_key(&self) -> Option<(Time, u64)> {
+        self.queue.last_pop()
     }
 
     /// Trace the given (src, dst) flows hop by hop.
@@ -284,6 +338,9 @@ impl Network {
         }
         while let Some((at, ev)) = self.queue.pop_until(t) {
             self.dispatch(at, ev);
+            if self.audit_due() {
+                self.audit_now().raise();
+            }
         }
     }
 
@@ -304,6 +361,9 @@ impl Network {
                 continue;
             }
             self.dispatch(at, ev);
+            if self.audit_due() {
+                self.audit_now().raise();
+            }
             if !is_tick {
                 last = at;
             }
@@ -444,6 +504,12 @@ impl Network {
                 vl,
                 blocks,
             } => {
+                if let Some(a) = &mut self.audit {
+                    let ch = self.switches[sw as usize].ports[port as usize]
+                        .out_channel
+                        .expect("credit return to an uncabled port");
+                    a.note_credit_returned(ch, vl, blocks);
+                }
                 self.switches[sw as usize].add_credits(port, vl, blocks);
                 self.sw_arbitrate(now, sw, port);
             }
@@ -453,13 +519,21 @@ impl Network {
                 self.hca_try_send(now, hca);
             }
             Event::HcaCredit { hca, vl, blocks } => {
+                if let Some(a) = &mut self.audit {
+                    a.note_credit_returned(self.hcas[hca as usize].out_channel, vl, blocks);
+                }
                 self.hcas[hca as usize].credits[vl as usize] += blocks;
                 self.hca_try_send(now, hca);
             }
             Event::SinkDone { hca } => self.on_sink_done(now, hca),
             Event::CctiTick { hca } => {
                 let h = &mut self.hcas[hca as usize];
+                let before = h.cc.max_ccti();
                 h.cc.on_timer();
+                if let Some(a) = &mut self.audit {
+                    let after = self.hcas[hca as usize].cc.max_ccti();
+                    a.note_timer(hca, now, before, after);
+                }
                 if let Some(p) = &self.cc_params {
                     self.queue.schedule(
                         now + TimeDelta(p.timer_period_ps()),
@@ -485,6 +559,9 @@ impl Network {
                 in_port,
             },
         );
+        if let Some(a) = &mut self.audit {
+            a.note_arrive(ch, pkt.vl, pkt.blocks());
+        }
         let sw = &mut self.switches[si as usize];
         let out = sw.route(pkt.dst);
         let ready_at = now + self.cfg.switch_latency;
@@ -554,6 +631,9 @@ impl Network {
         let in_ch = self.switches[si as usize].ports[in_port as usize]
             .in_channel
             .expect("packet arrived on uncabled port");
+        if let Some(a) = &mut self.audit {
+            a.note_grant(out_ch, in_ch, vl, blocks);
+        }
         let rev = self.channels[self.channels[in_ch as usize].reverse as usize];
         let at = now + ser + rev.delay + self.cfg.credit_latency;
         match self.channels[in_ch as usize].from {
@@ -585,6 +665,9 @@ impl Network {
                 let ser = h.note_sent(&pkt, now, &self.cfg, cc_on);
                 let out_ch = h.out_channel;
                 let busy_until = h.busy_until;
+                if let Some(a) = &mut self.audit {
+                    a.note_send(out_ch, pkt.vl, pkt.blocks());
+                }
                 self.trace(now, &pkt, TracePoint::Inject);
                 let channel = self.channels[out_ch as usize];
                 self.queue
@@ -630,6 +713,9 @@ impl Network {
         };
         let cc_on = self.cc_params.is_some();
         self.trace(now, &pkt, TracePoint::Arrive);
+        if let Some(a) = &mut self.audit {
+            a.note_arrive(ch, pkt.vl, pkt.blocks());
+        }
         let had_cnp_work;
         let start;
         {
@@ -664,6 +750,9 @@ impl Network {
         }
         // Credits back to the upstream switch output.
         let in_ch = self.hcas[hi as usize].in_channel;
+        if let Some(a) = &mut self.audit {
+            a.note_credit_pending(in_ch, pkt.vl, pkt.blocks());
+        }
         let rev = self.channels[self.channels[in_ch as usize].reverse as usize];
         let at = now + rev.delay + self.cfg.credit_latency;
         match self.channels[in_ch as usize].from {

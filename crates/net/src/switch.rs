@@ -46,6 +46,20 @@ pub struct SwPort {
     // ---- statistics ----------------------------------------------------
     pub forwarded_packets: u64,
     pub forwarded_bytes: u64,
+    /// Arbitration rounds on this output where at least one head packet
+    /// was ready to go but lacked whole-packet downstream credits and
+    /// nothing could be granted — the moral equivalent of the
+    /// `PortXmitWait` counter a fabric manager reads from real switches.
+    pub xmit_wait: u64,
+}
+
+impl SwPort {
+    /// Packets standing in this *input* port's VoQs, over all outputs
+    /// and VLs. Summing this across ports equals summing
+    /// [`Switch::queued_toward`] across outputs — in one pass.
+    pub fn queued_packets(&self) -> usize {
+        self.voq.iter().map(|q| q.len()).sum()
+    }
 }
 
 /// The decision produced by one successful arbitration round.
@@ -87,6 +101,7 @@ impl Switch {
                 cong: (0..nv).map(|_| PortVlCongestion::disabled()).collect(),
                 forwarded_packets: 0,
                 forwarded_bytes: 0,
+                xmit_wait: 0,
             })
             .collect();
         Switch { ports, lft, n_vls }
@@ -168,21 +183,33 @@ impl Switch {
         // with whole-packet downstream credits available.
         let mut sizes = [None::<u32>; 16];
         let mut cand_input = [0usize; 16];
+        let mut credit_blocked = false;
         let n_in = self.ports.len();
         for vl in 0..nv {
             let start = self.ports[o].rr_in[vl];
             for k in 0..n_in {
                 let inp = (start + k) % n_in;
                 if let Some(head) = self.ports[inp].voq[o * nv + vl].front() {
-                    if head.ready_at <= now && self.ports[o].credits[vl] >= head.pkt.blocks() {
-                        sizes[vl] = Some(head.pkt.bytes);
-                        cand_input[vl] = inp;
-                        break;
+                    if head.ready_at <= now {
+                        if self.ports[o].credits[vl] >= head.pkt.blocks() {
+                            sizes[vl] = Some(head.pkt.bytes);
+                            cand_input[vl] = inp;
+                            break;
+                        }
+                        credit_blocked = true;
                     }
                 }
             }
         }
-        let vl = self.ports[o].varb.pick_sized(&sizes[..nv])? as usize;
+        let Some(vl) = self.ports[o].varb.pick_sized(&sizes[..nv]) else {
+            if credit_blocked {
+                // Data stood ready but downstream buffer space alone
+                // held the output idle: one stalled arbitration round.
+                self.ports[o].xmit_wait += 1;
+            }
+            return None;
+        };
+        let vl = vl as usize;
         let inp = cand_input[vl];
         self.ports[o].rr_in[vl] = (inp + 1) % n_in;
         let desc = self.ports[inp].voq[o * nv + vl].pop_front().unwrap();
@@ -212,6 +239,43 @@ impl Switch {
             blocks,
             ser,
         })
+    }
+
+    /// Flow-control blocks standing in `in_port`'s input buffer on `vl`
+    /// (across all output VoQs) — the buffered term of the credit
+    /// conservation ledger for the channel feeding that port.
+    pub fn buffered_blocks(&self, in_port: u16, vl: Vl) -> u64 {
+        let nv = self.n_vls as usize;
+        self.ports[in_port as usize]
+            .voq
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % nv == vl as usize)
+            .flat_map(|(_, q)| q.iter())
+            .map(|d| d.pkt.blocks() as u64)
+            .sum()
+    }
+
+    /// Bytes standing in VoQs across all inputs toward `(out_port, vl)`
+    /// — the ground truth the congestion detector's occupancy counter
+    /// shadows.
+    pub fn queued_bytes_toward(&self, out_port: u16, vl: Vl) -> u64 {
+        let nv = self.n_vls as usize;
+        let idx = out_port as usize * nv + vl as usize;
+        self.ports
+            .iter()
+            .flat_map(|p| p.voq[idx].iter())
+            .map(|d| d.pkt.bytes as u64)
+            .sum()
+    }
+
+    /// Fault-injection hook for oracle tests: make `blocks` credits on
+    /// `out_port`/`vl` vanish without any packet movement — exactly the
+    /// corruption a refactor of the credit path could introduce.
+    #[cfg(test)]
+    pub fn leak_credits_for_test(&mut self, out_port: u16, vl: Vl, blocks: u32) {
+        let c = &mut self.ports[out_port as usize].credits[vl as usize];
+        *c = c.saturating_sub(blocks);
     }
 
     /// Credit update from downstream for `out_port`.
@@ -440,6 +504,47 @@ mod tests {
         s.enqueue(3, 2, desc(2, 64, 0));
         assert_eq!(s.queued_toward(2), 3);
         assert_eq!(s.queued_toward(1), 0);
+    }
+
+    #[test]
+    fn xmit_wait_counts_credit_stalls_only() {
+        let mut s = sw();
+        // Not yet ready: idle, not stalled.
+        s.enqueue(0, 1, desc(1, 2048, 900));
+        assert!(s
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .is_none());
+        assert_eq!(s.ports[1].xmit_wait, 0);
+        // Ready but credit-starved: a stall per arbitration round.
+        s.ports[1].credits[0] = 0;
+        assert!(s
+            .arbitrate(1, Time(900), |b| BW.tx_time(b as u64), None)
+            .is_none());
+        assert!(s
+            .arbitrate(1, Time(901), |b| BW.tx_time(b as u64), None)
+            .is_none());
+        assert_eq!(s.ports[1].xmit_wait, 2);
+        // Credits restored: the grant proceeds and stalls stop counting.
+        s.add_credits(1, 0, 128);
+        assert!(s
+            .arbitrate(1, Time(902), |b| BW.tx_time(b as u64), None)
+            .is_some());
+        assert_eq!(s.ports[1].xmit_wait, 2);
+    }
+
+    #[test]
+    fn audit_helpers_count_blocks_and_bytes() {
+        let mut s = sw();
+        s.enqueue(0, 1, desc(1, 2048, 0)); // 32 blocks from input 0
+        s.enqueue(2, 1, desc(1, 64, 0)); // 1 block from input 2
+        assert_eq!(s.buffered_blocks(0, 0), 32);
+        assert_eq!(s.buffered_blocks(2, 0), 1);
+        assert_eq!(s.buffered_blocks(1, 0), 0);
+        assert_eq!(s.queued_bytes_toward(1, 0), 2048 + 64);
+        assert_eq!(s.queued_bytes_toward(2, 0), 0);
+        assert_eq!(s.ports[0].queued_packets(), 1);
+        let total: usize = s.ports.iter().map(|p| p.queued_packets()).sum();
+        assert_eq!(total, s.queued_toward(1));
     }
 
     #[test]

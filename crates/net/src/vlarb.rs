@@ -335,6 +335,50 @@ mod tests {
     }
 
     #[test]
+    fn equal_weights_drain_within_one_weight_round() {
+        // Equal-weight round robin with every lane backlogged: one
+        // weight round (weight x 64 bytes per lane) serves each lane
+        // its exact byte share before any lane gets a second turn —
+        // the fairness contract the paper's single-VL setup degrades
+        // from.
+        let mut a = VlArbiter::new(VlArbTable::round_robin(4));
+        let picks_per_lane = 16 * WEIGHT_BYTES / 512; // = 2
+        for round in 0..3 {
+            let mut counts = [0u32; 4];
+            for _ in 0..picks_per_lane * 4 {
+                let vl = a.pick(|_| true, 512).unwrap();
+                counts[vl as usize] += 1;
+            }
+            assert_eq!(
+                counts,
+                [picks_per_lane; 4],
+                "unequal service in weight round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_lane_share_is_redistributed_not_banked() {
+        // A lane that was idle during its turn must not accumulate
+        // service debt it can later burst through: with VL1 idle the
+        // others split the bandwidth, and once VL1 wakes it gets only
+        // its normal per-round share.
+        let mut a = VlArbiter::new(VlArbTable::round_robin(2));
+        for _ in 0..10 {
+            assert_eq!(a.pick(|vl| vl == 0, 1024), Some(0));
+        }
+        let mut first_round = Vec::new();
+        for _ in 0..2 {
+            first_round.push(a.pick(|_| true, 1024).unwrap());
+        }
+        assert_eq!(
+            first_round.iter().filter(|&&v| v == 1).count(),
+            1,
+            "woken lane must get exactly its share: {first_round:?}"
+        );
+    }
+
+    #[test]
     fn zero_weight_entries_skipped() {
         let t = VlArbTable {
             high: vec![],

@@ -1,0 +1,86 @@
+//! Route conformance: every traced packet must traverse exactly the
+//! switch sequence the topology's forwarding tables promise — the
+//! simulator is not allowed to invent paths, skip hops, or deliver
+//! through a switch the LFTs never selected.
+
+use ibsim_net::{DestPattern, NetConfig, Network, TrafficClass};
+use ibsim_topo::{single_switch, FatTreeSpec, Topology};
+
+fn msg_class(dst: u32, messages: u64) -> TrafficClass {
+    TrafficClass::new(100, DestPattern::Fixed(dst), 4096).with_max_messages(messages)
+}
+
+/// Run `flows` with tracing and assert each data packet's forwarded
+/// switch sequence equals `topo.route_path(src, dst)`.
+fn assert_routes_conform(topo: &Topology, flows: &[(u32, u32)], messages: u64) {
+    let mut net = Network::new(topo, NetConfig::paper());
+    net.enable_trace(flows.iter().copied());
+    for &(src, dst) in flows {
+        net.set_classes(src, vec![msg_class(dst, messages)]);
+    }
+    net.run_to_idle(10_000_000);
+
+    let tracer = net.tracer().expect("tracing was enabled");
+    for &(src, dst) in flows {
+        let expect: Vec<u32> = topo
+            .route_path(src as usize, dst as usize)
+            .unwrap_or_else(|| panic!("no route {src} -> {dst}"))
+            .into_iter()
+            .map(|s| s as u32)
+            .collect();
+        // Two MTU packets per 4096-byte message, seq starts at 1.
+        let packets = messages * 2;
+        assert!(packets > 0);
+        for seq in 1..=packets as u32 {
+            let took = tracer.path_of(src, dst, seq);
+            assert_eq!(
+                took, expect,
+                "packet {src}->{dst} seq {seq} strayed from the LFT route"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_switch_routes_are_one_hop() {
+    let topo = single_switch(8, 6);
+    assert_routes_conform(&topo, &[(0, 5), (3, 1), (4, 2)], 3);
+}
+
+#[test]
+fn fat_tree_routes_follow_the_lfts() {
+    // TEST_8: leaf-local pairs stay on one switch, cross-leaf pairs
+    // climb to a spine — both shapes must match route_path exactly.
+    let topo = FatTreeSpec::TEST_8.build();
+    assert_routes_conform(&topo, &[(0, 1), (2, 7), (5, 2), (6, 3)], 3);
+    let local = topo.route_path(0, 1).unwrap();
+    let cross = topo.route_path(0, 7).unwrap();
+    assert_eq!(local.len(), 1, "leaf-local is one switch");
+    assert_eq!(cross.len(), 3, "cross-leaf is leaf-spine-leaf");
+}
+
+#[test]
+fn routes_conform_even_under_contention() {
+    // Congestion delays packets but must never divert them: routing is
+    // deterministic destination-based, independent of queue state.
+    let topo = FatTreeSpec::TEST_8.build();
+    let mut net = Network::new(&topo, NetConfig::paper());
+    net.enable_trace([(6u32, 0u32)]);
+    for n in 1..8u32 {
+        net.set_classes(n, vec![msg_class(0, 20)]);
+    }
+    net.run_to_idle(10_000_000);
+    let expect: Vec<u32> = topo
+        .route_path(6, 0)
+        .unwrap()
+        .into_iter()
+        .map(|s| s as u32)
+        .collect();
+    let tracer = net.tracer().unwrap();
+    for seq in 1..=40u32 {
+        assert_eq!(tracer.path_of(6, 0, seq), expect, "seq {seq} diverted");
+    }
+    // And the fabric still balances: tracing + contention broke nothing.
+    assert!(net.workload_drained());
+    net.check_credits_at_rest().unwrap();
+}

@@ -1,0 +1,96 @@
+//! Process-wide toggle for the fabric invariant oracle.
+//!
+//! The oracle itself lives in `ibsim-check` / `ibsim_net::audit`; this
+//! module decides *whether* a run audits, so that every experiment
+//! binary and library entry point agrees on one switch:
+//!
+//! * `--audit` on any experiment binary calls [`force`]`(true)`;
+//! * the `IBSIM_AUDIT` environment variable (`1`/`true`/`on`) turns it
+//!   on for processes that never parse flags — the CI audit leg sets it
+//!   for the whole test suite;
+//! * `IBSIM_AUDIT_EVERY` overrides the periodic cadence (events between
+//!   passes, default 50 000).
+//!
+//! [`arm`] applies the decision to a freshly-built [`Network`]; the
+//! experiment runners call it right after construction and
+//! [`ibsim_check::AuditReport::raise`] at end of run, so a violation
+//! fails the run with the structured ledger diff.
+
+use ibsim_net::Network;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// 0 = follow the environment, 1 = forced off, 2 = forced on.
+static FORCE: AtomicU8 = AtomicU8::new(0);
+
+/// Override the environment (last call wins; `--audit` uses this).
+pub fn force(on: bool) {
+    FORCE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Should runs audit? Forced value if set, else `IBSIM_AUDIT`.
+pub fn enabled() -> bool {
+    match FORCE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            static ENV: OnceLock<bool> = OnceLock::new();
+            *ENV.get_or_init(|| {
+                matches!(
+                    std::env::var("IBSIM_AUDIT").as_deref(),
+                    Ok("1") | Ok("true") | Ok("on")
+                )
+            })
+        }
+    }
+}
+
+/// Events between periodic audit passes (`IBSIM_AUDIT_EVERY`).
+pub fn interval() -> u64 {
+    static ENV: OnceLock<u64> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("IBSIM_AUDIT_EVERY")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(50_000)
+    })
+}
+
+/// Enable the oracle on `net` when auditing is on. Call before the
+/// first event is dispatched.
+pub fn arm(net: &mut Network) {
+    if enabled() {
+        net.enable_audit(interval());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibsim_net::NetConfig;
+    use ibsim_topo::single_switch;
+
+    #[test]
+    fn force_wins_and_arms_networks() {
+        // One test owns the global: toggling both ways checks force()
+        // beats the environment in either direction.
+        force(true);
+        assert!(enabled());
+        let topo = single_switch(4, 2);
+        let mut net = Network::new(&topo, NetConfig::paper());
+        arm(&mut net);
+        assert!(net.audit_enabled());
+
+        force(false);
+        assert!(!enabled());
+        let mut net = Network::new(&topo, NetConfig::paper());
+        arm(&mut net);
+        assert!(!net.audit_enabled());
+    }
+
+    #[test]
+    fn interval_has_a_sane_default() {
+        assert!(interval() > 0);
+    }
+}

@@ -91,6 +91,7 @@ pub fn run_scenario_opts(
 ) -> ScenarioResult {
     let inj = cfg.inj_rate;
     let mut net = Network::new(topo, cfg);
+    crate::audit::arm(&mut net);
     let mut sc = Scenario::install_opts(
         roles,
         &mut net,
@@ -130,6 +131,9 @@ pub fn run_scenario_opts(
         }
     }
     net.stop_measurement();
+    // End-of-run invariant pass (no-op when auditing is off): a broken
+    // ledger fails the run rather than reporting corrupt numbers.
+    net.audit_now().raise();
 
     let lat = net.latency_histogram();
     let to_us = |ps: Option<u64>| ps.map_or(0.0, |v| v as f64 / 1e6);

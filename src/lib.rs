@@ -41,6 +41,7 @@
 //! assert!(pair.improvement() > 0.9);
 //! ```
 
+pub mod audit;
 pub mod experiment;
 pub mod preset;
 pub mod replicas;

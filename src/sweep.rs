@@ -11,6 +11,7 @@
 //! its `(index, result)` pairs locally and the caller scatters them into
 //! the output after joining — no per-cell locks.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Map `f` over `items` on `threads` worker threads, preserving order.
@@ -41,22 +42,39 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut local: Vec<(usize, std::thread::Result<R>)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        // Catch per cell so a panic (e.g. an invariant
+                        // audit raising) is rethrown by the caller with
+                        // the failing cell identified, instead of
+                        // surfacing as an anonymous dead worker.
+                        let r = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                        let failed = r.is_err();
+                        local.push((i, r));
+                        if failed {
+                            break; // stop claiming cells; rethrow on join
+                        }
                     }
                     local
                 })
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("sweep worker panicked") {
-                debug_assert!(results[i].is_none(), "cell {i} computed twice");
-                results[i] = Some(r);
+            for (i, r) in h.join().expect("sweep worker died outside a cell") {
+                match r {
+                    Ok(v) => {
+                        debug_assert!(results[i].is_none(), "cell {i} computed twice");
+                        results[i] = Some(v);
+                    }
+                    Err(payload) => {
+                        eprintln!("sweep: cell {i} of {} panicked; rethrowing", items.len());
+                        resume_unwind(payload);
+                    }
+                }
             }
         }
     });
@@ -121,6 +139,27 @@ mod tests {
         let items: Vec<u32> = (0..16).collect();
         let out = parallel_map(&items, 0, |&x| x + 1);
         assert_eq!(out[15], 16);
+    }
+
+    #[test]
+    fn panicking_cell_rethrows_the_original_payload() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 5 {
+                    panic!("ledger broke in this cell");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("the cell panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("ledger broke"), "payload lost: {msg:?}");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Metamorphic tests: relations that must hold between *pairs* of runs.
+//!
+//! Each test runs the simulator twice under a transformation with a
+//! known effect on the output — CC toggled below the congestion
+//! threshold (no effect), node ids relabeled on a symmetric switch
+//! (permuted per-node results, preserved aggregate), the measurement
+//! window doubled (doubled counts). No oracle for the absolute numbers
+//! is needed; the *relation* is the oracle. The fabric invariant audit
+//! runs on every network involved, so each metamorphic pair is also a
+//! conservation check.
+
+use ibsim::prelude::*;
+
+/// Below the congestion threshold the CC mechanism must be inert:
+/// nothing gets FECN-marked, so CC-on and CC-off runs deliver the
+/// identical per-node packet sets — not just similar throughput.
+#[test]
+fn low_load_delivery_is_cc_invariant() {
+    let run = |cc: bool| {
+        let topo = single_switch(8, 6);
+        let cfg = if cc {
+            NetConfig::paper()
+        } else {
+            NetConfig::paper_no_cc()
+        };
+        let mut net = Network::new(&topo, cfg);
+        net.enable_audit(20_000);
+        // Three disjoint src->dst pairs at 30% load: no shared output,
+        // no standing queue, no marks.
+        for (src, dst) in [(0u32, 3u32), (1, 4), (2, 5)] {
+            net.set_classes(
+                src,
+                vec![
+                    TrafficClass::new(30, DestPattern::Fixed(dst), 4096).with_max_messages(40),
+                ],
+            );
+        }
+        net.run_to_idle(10_000_000);
+        net.audit_now().raise();
+        assert_eq!(net.total_fecn_marks(), 0, "low load must not mark");
+        net.hcas
+            .iter()
+            .map(|h| (h.injected_packets, h.delivered_packets))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// A single switch is symmetric: renaming the hotspot and its
+/// contributors must permute the per-node results and leave the
+/// aggregate unchanged (up to round-robin tie-order noise).
+#[test]
+fn relabeling_nodes_permutes_results_preserves_aggregate() {
+    let run = |senders: [u32; 3], hot: u32| {
+        let topo = single_switch(8, 6);
+        let mut net = Network::new(&topo, NetConfig::paper());
+        net.enable_audit(50_000);
+        for &s in &senders {
+            net.set_classes(
+                s,
+                vec![TrafficClass::new(100, DestPattern::Fixed(hot), 4096)],
+            );
+        }
+        net.run_until(Time::from_ms(1));
+        net.start_measurement();
+        net.run_until(Time::from_ms(3));
+        net.stop_measurement();
+        net.audit_now().raise();
+        (net.rx_gbps(hot), net.total_rx_gbps())
+    };
+    let (hot_a, total_a) = run([1, 2, 3], 0);
+    let (hot_b, total_b) = run([2, 3, 4], 5);
+    let close = |a: f64, b: f64| (a - b).abs() / a < 0.02;
+    assert!(
+        close(hot_a, hot_b),
+        "hotspot rate not relabel-invariant: {hot_a} vs {hot_b}"
+    );
+    assert!(
+        close(total_a, total_b),
+        "aggregate not relabel-invariant: {total_a} vs {total_b}"
+    );
+}
+
+/// In steady state, measuring twice as long delivers twice as much:
+/// the delivered-count deltas over back-to-back equal windows must
+/// double within tolerance.
+#[test]
+fn doubling_the_window_doubles_delivered_counts() {
+    let topo = single_switch(8, 6);
+    let mut net = Network::new(&topo, NetConfig::paper_no_cc());
+    net.enable_audit(50_000);
+    for s in 1..4u32 {
+        net.set_classes(
+            s,
+            vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)],
+        );
+    }
+    net.run_until(Time::from_ms(1)); // reach drain-limited steady state
+    let d0 = net.total_delivered_packets();
+    net.run_until(Time::from_ms(2));
+    let d1 = net.total_delivered_packets();
+    net.run_until(Time::from_ms(3));
+    let d2 = net.total_delivered_packets();
+    net.audit_now().raise();
+    let one = (d1 - d0) as f64;
+    let two = (d2 - d0) as f64;
+    assert!(one > 0.0, "nothing delivered in the first window");
+    let ratio = two / one;
+    assert!(
+        (1.9..=2.1).contains(&ratio),
+        "doubling the window scaled deliveries by {ratio}, not ~2"
+    );
+}
