@@ -80,6 +80,26 @@ impl HcaCc {
         &self.params
     }
 
+    /// Swap in new CC parameters mid-run (firmware re-tune / parameter
+    /// drift). Existing flow state is kept but re-clamped to the new
+    /// table: CCTIs above the new `ccti_limit` come down to it, CCTIs
+    /// below the new `ccti_min` are lifted to it, and the throttled-flow
+    /// counter is recomputed so `audit()` stays clean across the swap.
+    pub fn set_params(&mut self, params: Arc<CcParams>) {
+        self.params = params;
+        let (min, limit) = (self.params.ccti_min, self.params.ccti_limit);
+        for f in &mut self.flows {
+            if f.tracked {
+                f.ccti = f.ccti.clamp(min, limit);
+            }
+        }
+        self.throttled = self
+            .flows
+            .iter()
+            .filter(|f| f.ccti > min)
+            .count();
+    }
+
     /// Map (destination, service level) to the throttling key per mode.
     #[inline]
     pub fn flow_key(&self, dst: u32, sl: u8) -> FlowKey {
@@ -382,6 +402,45 @@ mod tests {
         // ccti_min > 0 means the send is gated, which (as with the map)
         // creates state for the flow from a starting CCTI of 0.
         assert!(c.next_allowed(3) > Time::from_ns(500));
+    }
+
+    #[test]
+    fn set_params_clamps_existing_state_to_the_new_table() {
+        let mut c = cc();
+        for _ in 0..50 {
+            c.on_becn(3);
+        }
+        c.on_becn(8);
+        assert_eq!(c.ccti(3), 50);
+        // Drift to a much tighter limit: flow 3 must come down to it.
+        let mut p = CcParams::paper_table1();
+        p.ccti_limit = 20;
+        c.set_params(Arc::new(p));
+        assert_eq!(c.ccti(3), 20);
+        assert_eq!(c.ccti(8), 1, "in-range flows untouched");
+        assert_eq!(c.throttled_flows(), 2);
+        c.audit().unwrap();
+        // Further BECNs respect the drifted increase and limit.
+        let mut p2 = CcParams::paper_table1();
+        p2.ccti_limit = 20;
+        p2.ccti_increase = 7;
+        c.set_params(Arc::new(p2));
+        c.on_becn(8);
+        assert_eq!(c.ccti(8), 8);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn set_params_raised_min_lifts_tracked_flows() {
+        let mut c = cc();
+        c.on_becn(1); // tracked at CCTI 1
+        let mut p = CcParams::paper_table1();
+        p.ccti_min = 4;
+        c.set_params(Arc::new(p));
+        assert_eq!(c.ccti(1), 4, "tracked flow lifted to the new floor");
+        assert_eq!(c.ccti(9), 4, "untouched flows report the new min");
+        assert_eq!(c.throttled_flows(), 0, "at the floor is not throttled");
+        c.audit().unwrap();
     }
 
     #[test]

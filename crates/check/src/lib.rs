@@ -48,6 +48,12 @@ pub enum LedgerKind {
     CongestionOccupancy,
     /// Event-queue pops strictly monotone in (time, seq).
     EventOrder,
+    /// A loss the fault-injection layer was *told* to cause (e.g. a CNP
+    /// dropped by a BECN-loss window). Ledgered so the audit artifact
+    /// shows exactly what was sacrificed, but sanctioned: it never
+    /// fails a run. Any loss the faults layer did not sanction still
+    /// trips the ledgers above.
+    SanctionedDrop,
 }
 
 impl LedgerKind {
@@ -59,7 +65,14 @@ impl LedgerKind {
             LedgerKind::CctiBounds => "ccti-bounds",
             LedgerKind::CongestionOccupancy => "congestion-occupancy",
             LedgerKind::EventOrder => "event-order",
+            LedgerKind::SanctionedDrop => "sanctioned-drop",
         }
+    }
+
+    /// Sanctioned entries are bookkeeping, not failures: [`AuditReport::raise`]
+    /// ignores them when deciding whether to panic.
+    pub fn is_sanctioned(&self) -> bool {
+        matches!(self, LedgerKind::SanctionedDrop)
     }
 }
 
@@ -110,12 +123,31 @@ pub struct AuditReport {
     pub events_processed: u64,
     /// Full audit passes performed so far on this network.
     pub checks_run: u64,
+    /// Total losses the fault-injection layer sanctioned (e.g. CNPs
+    /// dropped by BECN-loss windows); mirrored as per-channel
+    /// [`LedgerKind::SanctionedDrop`] entries in `violations`.
+    pub sanctioned_drops: u64,
     pub violations: Vec<Violation>,
 }
 
 impl AuditReport {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Violations that actually fail a run: everything except
+    /// sanctioned-drop bookkeeping entries.
+    pub fn unsanctioned(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.ledger.is_sanctioned())
+    }
+
+    pub fn has_unsanctioned(&self) -> bool {
+        self.unsanctioned().next().is_some()
+    }
+
+    /// Sanctioned-drop bookkeeping entries (fault-injection losses).
+    pub fn sanctioned(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.ledger.is_sanctioned())
     }
 
     /// Record one broken invariant.
@@ -142,10 +174,12 @@ impl AuditReport {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        let sanctioned = self.sanctioned().count();
         let _ = writeln!(
             out,
-            "invariant audit: {} violation(s) at t={}ps after {} events ({} passes)",
+            "invariant audit: {} violation(s) ({} sanctioned) at t={}ps after {} events ({} passes)",
             self.violations.len(),
+            sanctioned,
             self.at_ps,
             self.events_processed,
             self.checks_run
@@ -156,9 +190,12 @@ impl AuditReport {
         out
     }
 
-    /// Panic with the structured diff if any ledger failed to balance.
-    /// When the `IBSIM_AUDIT_REPORT` environment variable names a path,
-    /// the report is first serialised there so CI can upload it.
+    /// Panic with the structured diff if any ledger failed to balance
+    /// for a reason the fault layer did not sanction. Sanctioned-drop
+    /// entries are still serialised (so the artifact records what was
+    /// sacrificed) but never panic on their own. When the
+    /// `IBSIM_AUDIT_REPORT` environment variable names a path, the
+    /// report is first serialised there so CI can upload it.
     pub fn raise(&self) {
         if self.is_clean() {
             return;
@@ -170,7 +207,9 @@ impl AuditReport {
                 let _ = std::fs::write(&path, json);
             }
         }
-        panic!("{}", self.render());
+        if self.has_unsanctioned() {
+            panic!("{}", self.render());
+        }
     }
 }
 
@@ -248,7 +287,7 @@ mod tests {
             at_ps: 42,
             events_processed: 7,
             checks_run: 1,
-            violations: vec![],
+            ..AuditReport::default()
         };
         r.violate(
             LedgerKind::Credits,
@@ -278,6 +317,40 @@ mod tests {
         let js = serde_json::to_string(&r).unwrap();
         assert!(js.contains("EventOrder") || js.contains("event-order"));
         assert!(js.contains("violations"));
+    }
+
+    #[test]
+    fn sanctioned_only_report_does_not_raise() {
+        let mut r = AuditReport::default();
+        r.violate(
+            LedgerKind::SanctionedDrop,
+            "channel 5",
+            "0 sanctioned drops",
+            "3 sanctioned drops",
+            "becn-loss window",
+        );
+        assert!(!r.is_clean(), "sanctioned entries are still recorded");
+        assert!(!r.has_unsanctioned());
+        assert_eq!(r.sanctioned().count(), 1);
+        r.raise(); // no panic: every entry is sanctioned
+    }
+
+    #[test]
+    #[should_panic(expected = "credits")]
+    fn unsanctioned_violation_still_raises_alongside_sanctioned() {
+        let mut r = AuditReport::default();
+        r.violate(LedgerKind::SanctionedDrop, "channel 5", 0, 3, "");
+        r.violate(LedgerKind::Credits, "channel 3 VL 0", 256, 255, "");
+        assert!(r.has_unsanctioned());
+        assert_eq!(r.unsanctioned().count(), 1);
+        r.raise();
+    }
+
+    #[test]
+    fn render_counts_sanctioned_entries() {
+        let mut r = AuditReport::default();
+        r.violate(LedgerKind::SanctionedDrop, "channel 1", 0, 2, "");
+        assert!(r.render().contains("1 violation(s) (1 sanctioned)"), "{}", r.render());
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn main() {
     let cfg = preset.net_config().with_seed(args.seed());
     let dur = preset.moving_durations();
     let lifetimes = preset.lifetimes();
+    let faults = args.faults();
     eprintln!(
         "moving: preset={} nodes={} {roles_desc}, lifetimes={:?}",
         preset.name(),
@@ -68,7 +69,7 @@ fn main() {
     let pairs = parallel_map_progress(
         &lifetimes,
         args.threads(),
-        |&life| run_cc_pair(&topo, &cfg, roles, dur, Some(life)),
+        |&life| run_cc_pair_faults(&topo, &cfg, roles, dur, Some(life), faults.as_ref()),
         |done, total| eprintln!("  cell {done}/{total}"),
     );
 

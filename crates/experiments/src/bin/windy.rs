@@ -35,6 +35,7 @@ fn main() {
     let cfg = preset.net_config().with_seed(args.seed());
     let dur = preset.durations();
     let p_values = preset.p_values();
+    let faults = args.faults();
     eprintln!(
         "windy ({fig}): preset={} nodes={} x={x}% B, p in {:?}",
         preset.name(),
@@ -53,7 +54,7 @@ fn main() {
                 b_p: p,
                 c_pct_of_rest: 80,
             };
-            run_cc_pair(&topo, &cfg, roles, dur, None)
+            run_cc_pair_faults(&topo, &cfg, roles, dur, None, faults.as_ref())
         },
         |done, total| eprintln!("  cell {done}/{total}"),
     );

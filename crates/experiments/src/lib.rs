@@ -89,6 +89,18 @@ impl Args {
         std::path::PathBuf::from(self.get("out").unwrap_or("results"))
     }
 
+    /// The shared `--faults SPEC` flag: compile the fault-schedule spec
+    /// (see `ibsim_faults::spec` / README for the grammar) against the
+    /// run seed. `None` when the flag is absent; panics, naming the
+    /// parse error, when the spec is malformed — a drill whose faults
+    /// silently failed to install would measure nothing.
+    pub fn faults(&self) -> Option<ibsim_net::FaultSchedule> {
+        self.get("faults").map(|spec| {
+            ibsim_net::FaultSchedule::from_spec(spec, self.seed())
+                .unwrap_or_else(|e| panic!("--faults: {e}"))
+        })
+    }
+
     /// Apply the shared `--audit` flag: force the fabric invariant
     /// oracle on for every run this process performs. Without the flag
     /// the environment (`IBSIM_AUDIT`) still decides, so the CI audit

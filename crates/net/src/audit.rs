@@ -40,6 +40,14 @@ pub struct NetAudit {
     /// Credit-return blocks scheduled upstream but not yet applied,
     /// per `channel * n_vls + vl` (the channel whose sender gets them).
     pending_credit_blocks: Vec<i64>,
+    /// Sanctioned drops (fault-injection CNP losses) per channel, and
+    /// the blocks they carried. These are *bookkeeping*: each audit
+    /// pass reports them as `SanctionedDrop` entries and adds them to
+    /// the packet ledger, but they never fail a run. Any loss that does
+    /// not pass through [`NetAudit::note_sanctioned_drop`] still
+    /// unbalances the ledgers and trips the oracle.
+    sanctioned_dropped_packets: Vec<u64>,
+    sanctioned_dropped_blocks: Vec<u64>,
     /// The (time, seq) key of the pop seen at the previous pass.
     last_seen_pop: Option<(Time, u64)>,
     seen_processed: u64,
@@ -56,6 +64,8 @@ impl NetAudit {
             on_wire_blocks: vec![0; channels * n_vls],
             on_wire_packets: vec![0; channels],
             pending_credit_blocks: vec![0; channels * n_vls],
+            sanctioned_dropped_packets: vec![0; channels],
+            sanctioned_dropped_blocks: vec![0; channels],
             last_seen_pop: None,
             seen_processed: 0,
             deferred: Vec::new(),
@@ -110,6 +120,16 @@ impl NetAudit {
         self.pending_credit_blocks[slot] -= blocks as i64;
     }
 
+    /// The fault layer sanctioned the loss of one packet (a CNP in a
+    /// BECN-loss window) on `ch`. The caller separately books the
+    /// freed buffer via [`NetAudit::note_credit_pending`]; this records
+    /// the packet itself so the packet ledger can account for it.
+    #[inline]
+    pub(crate) fn note_sanctioned_drop(&mut self, ch: u32, _vl: Vl, blocks: u32) {
+        self.sanctioned_dropped_packets[ch as usize] += 1;
+        self.sanctioned_dropped_blocks[ch as usize] += blocks as u64;
+    }
+
     /// The CCTI recovery timer must only ever decrease table indices.
     #[inline]
     pub(crate) fn note_timer(&mut self, hca: u32, now: Time, before: u16, after: u16) {
@@ -144,6 +164,7 @@ impl NetAudit {
             at_ps: net.now().as_ps(),
             events_processed: net.events_processed(),
             checks_run: self.cadence.checks_run(),
+            sanctioned_drops: self.sanctioned_dropped_packets.iter().sum(),
             violations: std::mem::take(&mut self.deferred),
         };
         self.check_event_order(net, &mut r);
@@ -152,7 +173,30 @@ impl NetAudit {
         self.check_notification_chain(net, &mut r);
         self.check_ccti_bounds(net, &mut r);
         self.check_congestion_occupancy(net, &mut r);
+        self.report_sanctioned_drops(&mut r);
         r
+    }
+
+    /// Ledger every sanctioned loss as a non-failing `SanctionedDrop`
+    /// entry, one per affected channel, with the cumulative count in
+    /// `actual`. The CI artifact then records exactly what the fault
+    /// schedule sacrificed, while [`AuditReport::raise`] ignores these
+    /// when deciding whether to fail the run.
+    fn report_sanctioned_drops(&self, r: &mut AuditReport) {
+        for (ch, &n) in self.sanctioned_dropped_packets.iter().enumerate() {
+            if n > 0 {
+                r.violate(
+                    LedgerKind::SanctionedDrop,
+                    format!("channel {ch}"),
+                    "0 losses absent a fault schedule",
+                    n,
+                    format!(
+                        "{n} CNP(s), {} block(s) dropped by becn-loss windows",
+                        self.sanctioned_dropped_blocks[ch]
+                    ),
+                );
+            }
+        }
     }
 
     /// Per-(channel, VL) credit conservation. The four terms partition
@@ -225,7 +269,9 @@ impl NetAudit {
             .map(|p| p.queued_packets())
             .sum();
         let in_sink: usize = net.hcas.iter().map(|h| h.sink_depth()).sum();
-        let accounted = delivered as i64 + on_wire + in_voq as i64 + in_sink as i64;
+        let sanctioned: u64 = self.sanctioned_dropped_packets.iter().sum();
+        let accounted =
+            delivered as i64 + on_wire + in_voq as i64 + in_sink as i64 + sanctioned as i64;
         if accounted != injected as i64 {
             r.violate(
                 LedgerKind::Packets,
@@ -233,7 +279,8 @@ impl NetAudit {
                 format!("{injected} injected packets accounted for"),
                 accounted,
                 format!(
-                    "delivered={delivered} wire={on_wire} voq={in_voq} sink={in_sink}"
+                    "delivered={delivered} wire={on_wire} voq={in_voq} sink={in_sink} \
+                     sanctioned_dropped={sanctioned}"
                 ),
             );
         }

@@ -58,6 +58,10 @@ pub struct Hca {
     /// The packet currently being drained by the sink, if any.
     draining: Option<Packet>,
     sink_queue: VecDeque<Packet>,
+    /// Fault injection: a paused sink stops starting drains (the
+    /// in-flight one finishes), so arriving packets pile up in the
+    /// sink queue and backpressure the fabric through held credits.
+    sink_paused: bool,
     /// Per-source last delivered sequence number (ordering check),
     /// indexed by node id.
     last_seq: Vec<u32>,
@@ -94,6 +98,7 @@ impl Hca {
             in_channel: u32::MAX,
             draining: None,
             sink_queue: VecDeque::new(),
+            sink_paused: false,
             last_seq: vec![0; num_nodes as usize],
             rx_by_src: vec![0; num_nodes as usize],
             rx_meter: ibsim_engine::RateMeter::new(),
@@ -253,7 +258,7 @@ impl Hca {
     /// Begin draining the next queued packet, if the sink is idle.
     /// Returns the drain time of the packet now being drained.
     pub fn start_drain(&mut self, cfg: &crate::config::NetConfig) -> Option<TimeDelta> {
-        if self.draining.is_some() {
+        if self.draining.is_some() || self.sink_paused {
             return None;
         }
         let pkt = self.sink_queue.pop_front()?;
@@ -303,6 +308,22 @@ impl Hca {
     /// CNPs or a half-sent message) — used by drain-to-idle tests.
     pub fn has_urgent_backlog(&self) -> bool {
         !self.cnp_queue.is_empty() || self.classes.iter().any(|c| c.mid_message())
+    }
+
+    /// Fault injection: stop sinking. The drain in flight (if any)
+    /// completes; nothing new starts until [`Hca::resume_sink`].
+    pub fn pause_sink(&mut self) {
+        self.sink_paused = true;
+    }
+
+    /// Fault injection: resume sinking. The caller must follow up with
+    /// [`Hca::start_drain`] to restart the pipeline.
+    pub fn resume_sink(&mut self) {
+        self.sink_paused = false;
+    }
+
+    pub fn sink_paused(&self) -> bool {
+        self.sink_paused
     }
 
     pub fn pending_cnps(&self) -> usize {

@@ -31,6 +31,7 @@ pub mod types;
 pub mod vlarb;
 
 pub use audit::NetAudit;
+pub use ibsim_faults::{parse_spec, FaultDecl, FaultSchedule, FaultStats, LinkSel};
 pub use config::NetConfig;
 pub use diag::NetworkSnapshot;
 pub use gen::{DestPattern, TrafficClass, PAPER_MSG_BYTES};

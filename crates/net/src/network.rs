@@ -9,6 +9,7 @@ use crate::trace::{TracePoint, Tracer};
 use crate::types::{NodeId, Packet, Vl};
 use ibsim_cc::HcaCc;
 use ibsim_engine::queue::EventQueue;
+use ibsim_faults::{AppliedEffect, FaultSchedule, FaultState, FaultStats, LinkSel};
 use ibsim_engine::rng::Rng;
 use ibsim_engine::time::{Time, TimeDelta};
 use ibsim_topo::{Endpoint, Topology};
@@ -59,6 +60,9 @@ pub enum Event {
     SinkDone { hca: u32 },
     /// CCTI recovery-timer expiry at an HCA.
     CctiTick { hca: u32 },
+    /// A scheduled fault transition fires (index into the installed
+    /// [`FaultSchedule`]'s transition list).
+    Fault { idx: u32 },
 }
 
 /// The fully-wired simulator for one network.
@@ -72,6 +76,9 @@ pub struct Network {
     tracer: Option<Tracer>,
     /// The invariant oracle; `None` costs one branch per event.
     audit: Option<Box<NetAudit>>,
+    /// The fault-injection state machine; `None` (the default, and any
+    /// empty schedule) costs one branch on the affected paths.
+    faults: Option<Box<FaultState>>,
     primed: bool,
     measuring_since: Option<Time>,
     measured_until: Option<Time>,
@@ -196,6 +203,7 @@ impl Network {
             cc_params,
             tracer: None,
             audit: None,
+            faults: None,
             primed: false,
             measuring_since: None,
             measured_until: None,
@@ -243,6 +251,79 @@ impl Network {
 
     pub fn audit_enabled(&self) -> bool {
         self.audit.is_some()
+    }
+
+    /// Install a compiled fault schedule, resolving its link selectors
+    /// against this fabric. Must run before [`Network::prime`] so the
+    /// transitions land on the calendar queue with the initial events.
+    /// An **empty** schedule installs nothing at all — the run is then
+    /// bit-identical to one that never called this.
+    ///
+    /// Panics if a selector names a device or channel the fabric does
+    /// not have: a schedule that silently misses its target would make
+    /// "the fault changed nothing" indistinguishable from "the fault
+    /// never fired".
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        assert!(!self.primed, "install_faults after prime");
+        if schedule.is_empty() {
+            return;
+        }
+        let n_channels = self.channels.len();
+        let channels = &self.channels;
+        let hcas = &self.hcas;
+        let resolve = |sel: LinkSel| -> Vec<u32> {
+            match sel {
+                LinkSel::Channel(c) => {
+                    assert!(
+                        (c as usize) < n_channels,
+                        "fault selector ch:{c} out of range ({n_channels} channels)"
+                    );
+                    vec![c]
+                }
+                // Both directions of the HCA's cable: data out of and
+                // into the node.
+                LinkSel::Hca(h) => {
+                    let h = h as usize;
+                    assert!(h < hcas.len(), "fault selector hca:{h} out of range");
+                    vec![hcas[h].out_channel, hcas[h].in_channel]
+                }
+                // Every channel delivering into an HCA — the links CNPs
+                // ride on their last hop, the paper's victim links.
+                LinkSel::AllHcaLinks => (0..n_channels as u32)
+                    .filter(|&c| matches!(channels[c as usize].to.0, Dev::Hca(_)))
+                    .collect(),
+            }
+        };
+        // Validate HCA ids named by node-scoped faults up front, too.
+        for tf in schedule.faults() {
+            let hca = match tf.action {
+                ibsim_faults::FaultAction::Drift { hca, .. }
+                | ibsim_faults::FaultAction::Pause { hca }
+                | ibsim_faults::FaultAction::Resume { hca } => hca,
+                _ => continue,
+            };
+            assert!(
+                (hca as usize) < self.hcas.len(),
+                "fault selector hca={hca} out of range ({} HCAs)",
+                self.hcas.len()
+            );
+        }
+        self.faults = Some(Box::new(FaultState::new(schedule, n_channels, resolve)));
+    }
+
+    pub fn faults_installed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// What the installed schedule has done so far (`None` when no
+    /// faults are installed).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_deref().map(|f| f.stats())
+    }
+
+    /// CNPs sanctioned-dropped so far (0 with no faults installed).
+    pub fn sanctioned_becn_drops(&self) -> u64 {
+        self.fault_stats().map_or(0, |s| s.becn_dropped)
     }
 
     /// Run a full audit pass now and return the report (clean and empty
@@ -314,6 +395,21 @@ impl Network {
                         Event::CctiTick { hca: i as u32 },
                     );
                 }
+            }
+        }
+        // Fault transitions go on the same calendar queue as everything
+        // else: they are ordinary events, totally ordered by (time, seq).
+        if let Some(f) = &self.faults {
+            let transitions: Vec<(Time, u32)> = f
+                .schedule()
+                .faults()
+                .iter()
+                .enumerate()
+                .filter(|(_, tf)| tf.at < Time::MAX)
+                .map(|(i, tf)| (tf.at, i as u32))
+                .collect();
+            for (at, idx) in transitions {
+                self.queue.schedule(at, Event::Fault { idx });
             }
         }
     }
@@ -401,6 +497,8 @@ impl Network {
     }
 
     /// Every class finished, nothing in flight, every sink empty.
+    /// Sanctioned-dropped CNPs count as leaving the fabric: they were
+    /// injected but, by design, will never be delivered.
     pub fn workload_drained(&self) -> bool {
         let delivered: u64 = self
             .hcas
@@ -409,7 +507,7 @@ impl Network {
             .sum();
         self.hcas.iter().all(|h| {
             h.sink_depth() == 0 && h.pending_cnps() == 0 && h.classes.iter().all(|c| c.finished())
-        }) && self.total_injected_packets() == delivered
+        }) && self.total_injected_packets() == delivered + self.sanctioned_becn_drops()
     }
 
     // ---- measurement -----------------------------------------------------
@@ -534,12 +632,51 @@ impl Network {
                     let after = self.hcas[hca as usize].cc.max_ccti();
                     a.note_timer(hca, now, before, after);
                 }
-                if let Some(p) = &self.cc_params {
-                    self.queue.schedule(
-                        now + TimeDelta(p.timer_period_ps()),
-                        Event::CctiTick { hca },
-                    );
+                if self.cc_params.is_some() {
+                    // Per-HCA period: parameter drift may have re-tuned
+                    // this adapter's CCTI_Timer away from the global one.
+                    let period = self.hcas[hca as usize].cc.params().timer_period_ps();
+                    self.queue
+                        .schedule(now + TimeDelta(period), Event::CctiTick { hca });
                 }
+            }
+            Event::Fault { idx } => self.on_fault(now, idx),
+        }
+    }
+
+    /// A scheduled fault transition fires.
+    fn on_fault(&mut self, now: Time, idx: u32) {
+        let effect = match &mut self.faults {
+            Some(f) => f.apply(idx as usize),
+            None => unreachable!("Fault event without an installed schedule"),
+        };
+        match effect {
+            AppliedEffect::None => {}
+            AppliedEffect::PauseHca(h) => self.hcas[h as usize].pause_sink(),
+            AppliedEffect::ResumeHca(h) => {
+                let hca = &mut self.hcas[h as usize];
+                hca.resume_sink();
+                // Restart the drain pipeline for whatever piled up.
+                if let Some(dt) = hca.start_drain(&self.cfg) {
+                    self.queue.schedule(now + dt, Event::SinkDone { hca: h });
+                }
+            }
+            AppliedEffect::Drift {
+                hca,
+                ccti_timer,
+                ccti_increase,
+            } => {
+                let h = &mut self.hcas[hca as usize];
+                let mut p = h.cc.params().clone();
+                if let Some(t) = ccti_timer {
+                    p.ccti_timer = t;
+                }
+                if let Some(i) = ccti_increase {
+                    p.ccti_increase = i;
+                }
+                // The next CctiTick for this HCA picks up the new
+                // period when it reschedules itself.
+                h.cc.set_params(Arc::new(p));
             }
         }
     }
@@ -636,6 +773,12 @@ impl Network {
         }
         let rev = self.channels[self.channels[in_ch as usize].reverse as usize];
         let at = now + ser + rev.delay + self.cfg.credit_latency;
+        // A flapped link returns its credits late (degraded rate) or at
+        // window end (stall); losslessness is preserved exactly.
+        let at = match &mut self.faults {
+            Some(f) => f.credit_release(in_ch, at, ser),
+            None => at,
+        };
         match self.channels[in_ch as usize].from {
             (Dev::Switch(up), up_port) => self.queue.schedule(
                 at,
@@ -716,6 +859,46 @@ impl Network {
         if let Some(a) = &mut self.audit {
             a.note_arrive(ch, pkt.vl, pkt.blocks());
         }
+        // Sanctioned BECN loss: a CNP whose last hop crosses an active
+        // becn-loss window vanishes here — after it left the wire,
+        // before the CA can process it. The buffer space it would have
+        // occupied is credited straight back upstream, exactly as a
+        // sink drain would have done, so the credit ledger stays
+        // balanced; the packet ledger books it as a sanctioned drop.
+        if pkt.is_cnp() {
+            let dropped = match &mut self.faults {
+                Some(f) => f.drop_becn(ch, now),
+                None => false,
+            };
+            if dropped {
+                if let Some(a) = &mut self.audit {
+                    a.note_sanctioned_drop(ch, pkt.vl, pkt.blocks());
+                    a.note_credit_pending(ch, pkt.vl, pkt.blocks());
+                }
+                let rev = self.channels[self.channels[ch as usize].reverse as usize];
+                let at = now + rev.delay + self.cfg.credit_latency;
+                let at = match &mut self.faults {
+                    Some(f) => {
+                        let base = self.cfg.link_bw.tx_time(pkt.bytes as u64);
+                        f.credit_release(ch, at, base)
+                    }
+                    None => at,
+                };
+                match self.channels[ch as usize].from {
+                    (Dev::Switch(up), up_port) => self.queue.schedule(
+                        at,
+                        Event::SwCredit {
+                            sw: up,
+                            port: up_port,
+                            vl: pkt.vl,
+                            blocks: pkt.blocks(),
+                        },
+                    ),
+                    (Dev::Hca(_), _) => unreachable!("HCA fed directly by an HCA"),
+                }
+                return;
+            }
+        }
         let had_cnp_work;
         let start;
         {
@@ -755,6 +938,13 @@ impl Network {
         }
         let rev = self.channels[self.channels[in_ch as usize].reverse as usize];
         let at = now + rev.delay + self.cfg.credit_latency;
+        let at = match &mut self.faults {
+            Some(f) => {
+                let base = self.cfg.link_bw.tx_time(pkt.bytes as u64);
+                f.credit_release(in_ch, at, base)
+            }
+            None => at,
+        };
         match self.channels[in_ch as usize].from {
             (Dev::Switch(up), up_port) => self.queue.schedule(
                 at,

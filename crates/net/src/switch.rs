@@ -271,8 +271,11 @@ impl Switch {
 
     /// Fault-injection hook for oracle tests: make `blocks` credits on
     /// `out_port`/`vl` vanish without any packet movement — exactly the
-    /// corruption a refactor of the credit path could introduce.
-    #[cfg(test)]
+    /// corruption a refactor of the credit path could introduce. This is
+    /// an *unsanctioned* loss: unlike the scheduled faults in
+    /// `ibsim-faults`, nothing ledgers it, so the oracle must flag it.
+    /// Always compiled so integration tests can prove the oracle stays
+    /// armed while sanctioned faults are active.
     pub fn leak_credits_for_test(&mut self, out_port: u16, vl: Vl, blocks: u32) {
         let c = &mut self.ports[out_port as usize].credits[vl as usize];
         *c = c.saturating_sub(blocks);

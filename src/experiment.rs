@@ -3,7 +3,7 @@
 //! table and figure in the paper.
 
 use ibsim_engine::time::{Time, TimeDelta};
-use ibsim_net::{NetConfig, Network};
+use ibsim_net::{FaultSchedule, NetConfig, Network};
 use ibsim_topo::Topology;
 use ibsim_traffic::{RoleSpec, Scenario};
 use serde::Serialize;
@@ -61,6 +61,9 @@ pub struct ScenarioResult {
     /// Jain's fairness index over contributor shares at the hotspots
     /// (None when nothing reached a hotspot in the window).
     pub fairness: Option<f64>,
+    /// CNPs sanctioned-dropped by an installed fault schedule (0 when
+    /// the run had no faults).
+    pub sanctioned_becn_drops: u64,
     /// Events processed (simulator work, not a paper metric).
     pub events: u64,
 }
@@ -89,9 +92,37 @@ pub fn run_scenario_opts(
     hotspot_lifetime: Option<TimeDelta>,
     contributors_active: bool,
 ) -> ScenarioResult {
+    run_scenario_faults(
+        topo,
+        cfg,
+        roles,
+        dur,
+        hotspot_lifetime,
+        contributors_active,
+        None,
+    )
+}
+
+/// As [`run_scenario_opts`], with a fault schedule installed before the
+/// first event. `None` (or an empty schedule) is bit-identical to the
+/// plain runners. End-of-run audits tolerate sanctioned drops but still
+/// fail on any unsanctioned ledger violation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_faults(
+    topo: &Topology,
+    cfg: NetConfig,
+    roles: RoleSpec,
+    dur: RunDurations,
+    hotspot_lifetime: Option<TimeDelta>,
+    contributors_active: bool,
+    faults: Option<&FaultSchedule>,
+) -> ScenarioResult {
     let inj = cfg.inj_rate;
     let mut net = Network::new(topo, cfg);
     crate::audit::arm(&mut net);
+    if let Some(schedule) = faults {
+        net.install_faults(schedule.clone());
+    }
     let mut sc = Scenario::install_opts(
         roles,
         &mut net,
@@ -150,6 +181,7 @@ pub fn run_scenario_opts(
         latency_p50_us: to_us(lat.quantile(0.5)),
         latency_p99_us: to_us(lat.quantile(0.99)),
         fairness: sc.hotspot_fairness(&net),
+        sanctioned_becn_drops: net.sanctioned_becn_drops(),
         events: net.events_processed(),
     }
 }
@@ -181,6 +213,20 @@ pub fn run_cc_pair(
     dur: RunDurations,
     hotspot_lifetime: Option<TimeDelta>,
 ) -> CcComparison {
+    run_cc_pair_faults(topo, base_cfg, roles, dur, hotspot_lifetime, None)
+}
+
+/// As [`run_cc_pair`], injecting the same fault schedule into both the
+/// CC-off and CC-on runs (so the comparison isolates what CC buys — or
+/// costs — under identical degradation).
+pub fn run_cc_pair_faults(
+    topo: &Topology,
+    base_cfg: &NetConfig,
+    roles: RoleSpec,
+    dur: RunDurations,
+    hotspot_lifetime: Option<TimeDelta>,
+    faults: Option<&FaultSchedule>,
+) -> CcComparison {
     let mut cfg_off = base_cfg.clone();
     cfg_off.cc = None;
     let mut cfg_on = base_cfg.clone();
@@ -188,7 +234,7 @@ pub fn run_cc_pair(
         cfg_on.cc = Some(ibsim_cc::CcParams::paper_table1());
     }
     CcComparison {
-        off: run_scenario(topo, cfg_off, roles, dur, hotspot_lifetime),
-        on: run_scenario(topo, cfg_on, roles, dur, hotspot_lifetime),
+        off: run_scenario_faults(topo, cfg_off, roles, dur, hotspot_lifetime, true, faults),
+        on: run_scenario_faults(topo, cfg_on, roles, dur, hotspot_lifetime, true, faults),
     }
 }

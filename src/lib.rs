@@ -42,14 +42,17 @@
 //! ```
 
 pub mod audit;
+pub mod drill;
 pub mod experiment;
 pub mod preset;
 pub mod replicas;
 pub mod report;
 pub mod sweep;
 
+pub use drill::{run_drill, DrillReport};
 pub use experiment::{
-    run_cc_pair, run_scenario, run_scenario_opts, CcComparison, RunDurations, ScenarioResult,
+    run_cc_pair, run_cc_pair_faults, run_scenario, run_scenario_faults, run_scenario_opts,
+    CcComparison, RunDurations, ScenarioResult,
 };
 pub use preset::Preset;
 pub use replicas::{run_scenario_replicated, Estimate, ReplicatedResult};
@@ -57,8 +60,10 @@ pub use sweep::{parallel_map, parallel_map_progress};
 
 /// One-stop imports for examples and binaries.
 pub mod prelude {
+    pub use crate::drill::{run_drill, DrillReport};
     pub use crate::experiment::{
-        run_cc_pair, run_scenario, run_scenario_opts, CcComparison, RunDurations, ScenarioResult,
+        run_cc_pair, run_cc_pair_faults, run_scenario, run_scenario_faults, run_scenario_opts,
+        CcComparison, RunDurations, ScenarioResult,
     };
     pub use crate::preset::Preset;
     pub use crate::replicas::{run_scenario_replicated, Estimate, ReplicatedResult};
@@ -66,7 +71,9 @@ pub mod prelude {
     pub use crate::sweep::{parallel_map, parallel_map_progress};
     pub use ibsim_cc::{CcMode, CcParams, Cct, CctShape};
     pub use ibsim_engine::time::{Bandwidth, Time, TimeDelta};
-    pub use ibsim_net::{DestPattern, NetConfig, Network, TrafficClass, PAPER_MSG_BYTES};
+    pub use ibsim_net::{
+        parse_spec, DestPattern, FaultSchedule, NetConfig, Network, TrafficClass, PAPER_MSG_BYTES,
+    };
     pub use ibsim_topo::{single_switch, FatTree3Spec, FatTreeSpec, Topology, TorusSpec};
     pub use ibsim_traffic::{NodeRole, RoleAssignment, RoleSpec, Scenario};
 }

@@ -15,6 +15,19 @@ use ibsim::prelude::*;
 /// Build the exact CSV the `table2` binary writes (same cells, same
 /// row labels, same 3-decimal formatting, same serialisation).
 fn table2_csv(topo: &Topology, cfg: &NetConfig, roles: RoleSpec, dur: RunDurations) -> String {
+    table2_csv_faults(topo, cfg, roles, dur, None)
+}
+
+/// As [`table2_csv`], threading a fault schedule into every cell — the
+/// zero-fault byte-identity pin runs the same code path the fault
+/// drills use.
+fn table2_csv_faults(
+    topo: &Topology,
+    cfg: &NetConfig,
+    roles: RoleSpec,
+    dur: RunDurations,
+    faults: Option<&FaultSchedule>,
+) -> String {
     let f3 = |x: f64| format!("{x:.3}");
     // (cc, contributors_active) — the four cells of Table II.
     let cells = [(false, false), (true, false), (false, true), (true, true)];
@@ -25,7 +38,7 @@ fn table2_csv(topo: &Topology, cfg: &NetConfig, roles: RoleSpec, dur: RunDuratio
             if !cc {
                 c.cc = None;
             }
-            run_scenario_opts(topo, c, roles, dur, None, active)
+            run_scenario_faults(topo, c, roles, dur, None, active, faults)
         })
         .collect();
     let (base_off, base_on, hs_off, hs_on) = (&results[0], &results[1], &results[2], &results[3]);
@@ -87,6 +100,73 @@ fn tiny_table2_csv_is_pinned() {
          the pinned event order (hash {:#018x})",
         fnv1a(csv.as_bytes())
     );
+}
+
+fn tiny_roles(topo: &Topology) -> RoleSpec {
+    RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: 1,
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    }
+}
+
+fn tiny_dur() -> RunDurations {
+    RunDurations {
+        warmup: TimeDelta::from_us(200),
+        measure: TimeDelta::from_us(500),
+    }
+}
+
+/// A compiled *zero-fault* schedule must be invisible: the run through
+/// the fault-aware entry point reproduces the pinned CSV byte for byte.
+/// An empty spec installing anything at all — an extra event, a
+/// different RNG draw — would shift the numbers and fail the exact
+/// string compare against the same pin `tiny_table2_csv_is_pinned`
+/// guards.
+#[test]
+fn zero_fault_schedule_is_byte_identical() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let empty = FaultSchedule::from_spec("", 0x1B51_C0DE).expect("empty spec");
+    assert!(empty.is_empty());
+    let with = table2_csv_faults(
+        &topo,
+        &NetConfig::paper(),
+        tiny_roles(&topo),
+        tiny_dur(),
+        Some(&empty),
+    );
+    let without = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+    assert_eq!(with, without, "an empty schedule must be a true no-op");
+}
+
+/// Same seed + same fault schedule replays identically — the fault
+/// RNG stream, window bookkeeping, and event interleaving are all
+/// deterministic. A different fault seed must change *something* (the
+/// BECN coin flips land differently).
+#[test]
+fn faulted_runs_replay_identically() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let run = |seed: u64| {
+        let schedule = FaultSchedule::from_spec(
+            "becnloss:link=hcas,p=0.5;flap:link=hca:1,at=300us,dur=100us,factor=stall",
+            seed,
+        )
+        .expect("valid spec");
+        let r = run_scenario_faults(
+            &topo,
+            NetConfig::paper(),
+            tiny_roles(&topo),
+            tiny_dur(),
+            None,
+            true,
+            Some(&schedule),
+        );
+        serde_json::to_string(&r).expect("serialise result")
+    };
+    assert_eq!(run(7), run(7), "same seed+schedule must be bit-identical");
+    assert_ne!(run(7), run(8), "the fault seed must matter");
 }
 
 /// The quick preset (QUICK_72, 2 ms + 4 ms) exactly as

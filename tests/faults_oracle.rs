@@ -1,0 +1,103 @@
+//! Oracle under fire: the invariant oracle stays armed while a fault
+//! schedule degrades the fabric. Sanctioned BECN drops appear in the
+//! audit report as bookkeeping (and only as bookkeeping); any *other*
+//! ledger imbalance — here an injected credit leak — still fails the
+//! run. These tests share one binary because they force the
+//! process-wide audit switch on.
+
+use ibsim::prelude::*;
+use ibsim_check::LedgerKind;
+use ibsim_traffic::{RoleSpec, Scenario};
+
+fn windy_roles(topo: &Topology) -> RoleSpec {
+    RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: 1,
+        b_pct: 50,
+        b_p: 50,
+        c_pct_of_rest: 80,
+    }
+}
+
+/// A windy run with BECN loss plus one link flap, audited end to end:
+/// the report is clean except for SanctionedDrop entries, and those
+/// entries account for exactly the CNPs the schedule swallowed.
+#[test]
+fn windy_run_under_faults_audits_clean_except_sanctioned() {
+    ibsim::audit::force(true);
+    let topo = FatTreeSpec::TEST_8.build();
+    let schedule = FaultSchedule::from_spec(
+        "becnloss:link=hcas,p=0.5;flap:link=hca:2,at=300us,dur=150us,factor=stall",
+        11,
+    )
+    .expect("valid spec");
+    let dur = RunDurations {
+        warmup: TimeDelta::from_us(200),
+        measure: TimeDelta::from_us(800),
+    };
+    let (report, audit) = ibsim::run_drill(
+        &topo,
+        NetConfig::paper(),
+        windy_roles(&topo),
+        dur,
+        TimeDelta::from_us(100),
+        &schedule,
+    );
+    assert!(
+        !audit.has_unsanctioned(),
+        "faults are sanctioned; the ledgers must still balance:\n{}",
+        audit.render()
+    );
+    let dropped = report.fault_stats.becn_dropped;
+    assert!(dropped > 0, "a 50% BECN-loss window must drop something");
+    assert_eq!(
+        audit.sanctioned_drops, dropped,
+        "the report's sanctioned total must equal the injected count"
+    );
+    let ledgered: u64 = audit
+        .violations
+        .iter()
+        .filter(|v| v.ledger == LedgerKind::SanctionedDrop)
+        .map(|v| v.actual.parse::<u64>().expect("numeric actual"))
+        .sum();
+    assert_eq!(ledgered, dropped);
+    assert!(
+        audit
+            .violations
+            .iter()
+            .all(|v| v.ledger == LedgerKind::SanctionedDrop),
+        "nothing but sanctioned entries expected:\n{}",
+        audit.render()
+    );
+}
+
+/// The same faulted fabric with an additional *unsanctioned* credit
+/// leak: sanctioned bookkeeping must not blunt the oracle.
+#[test]
+fn unsanctioned_leak_trips_the_oracle_despite_faults() {
+    ibsim::audit::force(true);
+    let topo = FatTreeSpec::TEST_8.build();
+    let mut net = Network::new(&topo, NetConfig::paper());
+    ibsim::audit::arm(&mut net);
+    net.install_faults(
+        FaultSchedule::from_spec("becnloss:link=hcas,p=0.5", 11).expect("valid spec"),
+    );
+    let _sc = Scenario::install_opts(windy_roles(&topo), &mut net, PAPER_MSG_BYTES, true);
+    net.run_until(Time::from_us(500));
+    // Eat 2 credit blocks on a leaf switch uplink — corruption no fault
+    // schedule sanctioned.
+    net.switches[0].leak_credits_for_test(2, 0, 2);
+    let report = net.audit_now();
+    assert!(
+        report.has_unsanctioned(),
+        "the leak must still trip the oracle:\n{}",
+        report.render()
+    );
+    assert!(
+        report
+            .unsanctioned()
+            .any(|v| v.ledger == LedgerKind::Credits),
+        "{}",
+        report.render()
+    );
+}

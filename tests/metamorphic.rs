@@ -81,6 +81,67 @@ fn relabeling_nodes_permutes_results_preserves_aggregate() {
     );
 }
 
+/// Severing the CC feedback loop is the same as never closing it:
+/// with BECN loss at p=1.0 on every HCA link, no CNP survives its last
+/// hop, no source ever throttles, and the fabric must converge to the
+/// CC-off throughput. The transformation (drop all feedback) has a
+/// known equivalent configuration (CC off) — the relation is the
+/// oracle; the audit confirms losslessness held while every CNP died.
+#[test]
+fn total_becn_loss_converges_to_cc_off_throughput() {
+    let run = |cc: bool, kill_feedback: bool| {
+        let topo = FatTreeSpec::TEST_8.build();
+        let cfg = if cc {
+            NetConfig::paper()
+        } else {
+            NetConfig::paper_no_cc()
+        };
+        let mut net = Network::new(&topo, cfg);
+        net.enable_audit(50_000);
+        if kill_feedback {
+            net.install_faults(
+                FaultSchedule::from_spec("becnloss:link=hcas,p=1.0", 3).expect("valid spec"),
+            );
+        }
+        for n in 2..8u32 {
+            net.set_classes(
+                n,
+                vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)],
+            );
+        }
+        net.run_until(Time::from_ms(1));
+        net.start_measurement();
+        net.run_until(Time::from_ms(3));
+        net.stop_measurement();
+        let report = net.audit_now();
+        assert!(!report.has_unsanctioned(), "{}", report.render());
+        if kill_feedback {
+            assert_eq!(net.max_ccti(), 0, "no surviving BECN may throttle");
+            assert!(net.sanctioned_becn_drops() > 0, "CNPs must have died");
+        }
+        (net.rx_gbps(0), net.total_rx_gbps())
+    };
+    let (hot_off, total_off) = run(false, false);
+    let (hot_lost, total_lost) = run(true, true);
+    let close = |a: f64, b: f64| (a - b).abs() / a < 0.05;
+    assert!(
+        close(hot_off, hot_lost),
+        "hotspot rate must match CC off: {hot_off} vs {hot_lost}"
+    );
+    assert!(
+        close(total_off, total_lost),
+        "total throughput must match CC off: {total_off} vs {total_lost}"
+    );
+    // Sanity: CC with intact feedback lands elsewhere (the victims are
+    // rescued, the aggregate shifts) — the relation above is not vacuous.
+    let (_, total_cc) = run(true, false);
+    assert!(
+        (total_cc - total_off).abs() / total_off > 0.05,
+        "CC on vs off must differ for the relation to mean anything: \
+         {total_cc} vs {total_off}"
+    );
+}
+
 /// In steady state, measuring twice as long delivers twice as much:
 /// the delivered-count deltas over back-to-back equal windows must
 /// double within tolerance.
