@@ -244,6 +244,25 @@ impl HcaCc {
     pub fn max_ccti(&self) -> u16 {
         self.flows.iter().map(|f| f.ccti).max().unwrap_or(0)
     }
+
+    /// Sum of all tracked flows' CCTIs — divided by
+    /// [`HcaCc::tracked_flows`] it gives the mean brake depth, the CCTI
+    /// gauge a telemetry sampler records per node.
+    pub fn sum_ccti(&self) -> u64 {
+        self.flows.iter().map(|f| f.ccti as u64).sum()
+    }
+
+    /// Flows that have ever received a BECN (the dense table's extent).
+    pub fn tracked_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The CCT inter-packet-delay multiplier at the current worst CCTI:
+    /// how many packet-times the most-throttled flow waits between
+    /// packets (the IRD gauge; 0 = unthrottled).
+    pub fn ird_multiplier(&self) -> u32 {
+        self.params.cct.multiplier(self.max_ccti())
+    }
 }
 
 #[cfg(test)]
@@ -456,5 +475,25 @@ mod tests {
             assert_eq!(a.next_allowed(k), b.next_allowed(k));
         }
         assert_eq!(a.throttled_flows(), b.throttled_flows());
+    }
+
+    #[test]
+    fn telemetry_gauges_track_becn_state() {
+        let mut c = cc();
+        assert_eq!(c.sum_ccti(), 0);
+        assert_eq!(c.tracked_flows(), 0);
+        assert_eq!(c.ird_multiplier(), 0, "unthrottled flows wait 0 packet-times");
+        c.on_becn(3);
+        c.on_becn(3);
+        c.on_becn(7);
+        let inc = c.params().ccti_increase as u64;
+        assert_eq!(c.sum_ccti(), 3 * inc, "two raises on flow 3, one on flow 7");
+        assert_eq!(c.tracked_flows(), 8, "dense table extends to the largest key");
+        assert_eq!(
+            c.ird_multiplier(),
+            c.params().cct.multiplier(c.max_ccti()),
+            "IRD gauge reads the CCT at the worst CCTI"
+        );
+        assert!(c.ird_multiplier() > 0, "a raised CCTI must throttle");
     }
 }

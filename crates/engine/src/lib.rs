@@ -24,5 +24,5 @@ pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::Rng;
-pub use stats::{Histogram, RateMeter, Series, TimeWeightedGauge};
+pub use stats::{Histogram, RateMeter, RunLap, RunMeter, Series, TimeWeightedGauge};
 pub use time::{rate_gbps, Bandwidth, Time, TimeDelta};

@@ -278,9 +278,94 @@ impl Series {
     }
 }
 
+/// Engine self-metrics: how fast the simulator itself is running.
+/// Feed it the event counter and the simulated clock at each sampling
+/// boundary; each [`RunMeter::lap`] reports the deltas since the last
+/// one plus wall-clock derived rates (events/sec, wall time burned per
+/// simulated second). Wall time never feeds back into the simulation —
+/// it only rides along in telemetry output.
+#[derive(Clone, Debug)]
+pub struct RunMeter {
+    wall: std::time::Instant,
+    events: u64,
+    sim: Time,
+}
+
+/// One lap's deltas and rates.
+#[derive(Clone, Copy, Debug)]
+pub struct RunLap {
+    /// Events processed since the previous lap.
+    pub events: u64,
+    /// Wall-clock seconds elapsed since the previous lap.
+    pub wall_secs: f64,
+    /// Simulated time elapsed since the previous lap.
+    pub sim: TimeDelta,
+}
+
+impl RunMeter {
+    /// Start measuring from the given counters.
+    pub fn start(events: u64, sim: Time) -> Self {
+        RunMeter {
+            wall: std::time::Instant::now(),
+            events,
+            sim,
+        }
+    }
+
+    /// Close the current lap and start the next one.
+    pub fn lap(&mut self, events: u64, sim: Time) -> RunLap {
+        let now = std::time::Instant::now();
+        let lap = RunLap {
+            events: events.saturating_sub(self.events),
+            wall_secs: now.duration_since(self.wall).as_secs_f64(),
+            sim: TimeDelta(sim.as_ps().saturating_sub(self.sim.as_ps())),
+        };
+        self.wall = now;
+        self.events = events;
+        self.sim = sim;
+        lap
+    }
+}
+
+impl RunLap {
+    /// Events dispatched per wall-clock second (0 on an empty lap).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / self.wall_secs
+    }
+
+    /// Wall-clock milliseconds burned per simulated millisecond
+    /// (0 when no simulated time passed).
+    pub fn wall_ms_per_sim_ms(&self) -> f64 {
+        let sim_ms = self.sim.as_ps() as f64 / 1e9;
+        if sim_ms <= 0.0 {
+            return 0.0;
+        }
+        self.wall_secs * 1e3 / sim_ms
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_meter_laps_report_deltas() {
+        let mut m = RunMeter::start(100, Time(0));
+        let lap = m.lap(1_100, Time::from_ms(2));
+        assert_eq!(lap.events, 1_000);
+        assert_eq!(lap.sim, TimeDelta::from_ms(2));
+        assert!(lap.wall_secs >= 0.0);
+        assert!(lap.events_per_sec() >= 0.0);
+        assert!(lap.wall_ms_per_sim_ms() >= 0.0);
+        // Second lap starts from the new baseline.
+        let lap2 = m.lap(1_100, Time::from_ms(2));
+        assert_eq!(lap2.events, 0);
+        assert_eq!(lap2.sim, TimeDelta(0));
+        assert_eq!(lap2.wall_ms_per_sim_ms(), 0.0);
+    }
 
     #[test]
     fn rate_meter_ignores_outside_window() {

@@ -119,6 +119,7 @@ fn cells_for(param: &str, base: &NetConfig) -> Vec<Cell> {
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let preset = args.preset();
     let param = args.get("param").unwrap_or("threshold").to_string();
     let topo = preset.topology();

@@ -28,6 +28,7 @@ const DEFAULT_SPEC: &str = "flap:link=hca:1,at=3ms,dur=1ms,factor=stall;\
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let preset = args.preset();
     let spec = args.get("faults").unwrap_or(DEFAULT_SPEC);
     let schedule = FaultSchedule::from_spec(spec, args.seed())
@@ -43,6 +44,12 @@ fn main() {
         b_p: 0,
         c_pct_of_rest: 80,
     };
+    // Optional victim-throughput floor: every bin below it is counted,
+    // flight-recorded, and (first breach) dumps the flight window.
+    let floor = args.get("floor").map(|v| {
+        v.parse::<f64>()
+            .unwrap_or_else(|_| panic!("--floor wants Gbit/s, got {v:?}"))
+    });
     eprintln!(
         "faults: preset={} nodes={} spec={spec:?} bin={}us",
         preset.name(),
@@ -50,7 +57,7 @@ fn main() {
         bin.as_ps() / 1_000_000
     );
 
-    let (report, audit) = run_drill(&topo, cfg, roles, dur, bin, &schedule);
+    let (report, audit) = run_drill_floor(&topo, cfg, roles, dur, bin, &schedule, floor);
 
     // ---- per-bin timeline -------------------------------------------------
     let rows: Vec<Vec<String>> = report
@@ -112,6 +119,14 @@ fn main() {
     write_json(&path, &report).expect("write json");
     eprintln!("wrote {}", path.display());
 
+    if let Some(f) = report.floor_gbps {
+        eprintln!(
+            "floor {} Gbit/s: {} breach(es) across {} bins",
+            f2(f),
+            report.floor_breaches,
+            report.samples.len()
+        );
+    }
     if report.unsanctioned_violations > 0 {
         eprintln!("{}", audit.render());
         eprintln!(

@@ -23,6 +23,7 @@ struct Case {
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let dur = RunDurations::new_ms(2, 4);
 
     let cases = vec![

@@ -54,6 +54,7 @@ fn run_point(topo: &Topology, cfg: &NetConfig, p: &Point, measure: TimeDelta) ->
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let preset = args.preset();
     let topo = preset.topology();
     let cfg = preset.net_config().with_seed(args.seed());

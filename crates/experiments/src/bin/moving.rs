@@ -21,6 +21,7 @@ use ibsim_experiments::{f2, f3, Args};
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let preset = args.preset();
     let windy = args.get_flag("b");
     let (roles_desc, roles) = if windy {

@@ -16,6 +16,7 @@ use ibsim_experiments::{f2, f3, Args};
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let Some(path) = args.positionals.first() else {
         eprintln!("usage: simulate <spec.json> [--json]");
         std::process::exit(2);

@@ -20,6 +20,7 @@ use ibsim_experiments::{f2, f3, Args};
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let preset = args.preset();
     let topo = preset.topology();
     let cfg = preset.net_config().with_seed(args.seed());

@@ -25,6 +25,7 @@ struct Candidate {
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let preset = args.preset();
     let topo = preset.topology();
     let dur = preset.durations();

@@ -21,6 +21,7 @@ use ibsim_experiments::{f2, f3, Args};
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_telemetry();
     let preset = args.preset();
     let x = args.get_u32("x", 25);
     assert!(x <= 100, "--x is a percentage");

@@ -110,6 +110,35 @@ impl Args {
             ibsim::audit::force(true);
         }
     }
+
+    /// The shared `--telemetry[=EVERY_US]` flag: `None` when absent (or
+    /// `--telemetry=false`), the default 100 µs period for the bare
+    /// flag, or an explicit sampling period in microseconds.
+    pub fn telemetry(&self) -> Option<ibsim_engine::time::TimeDelta> {
+        match self.get("telemetry") {
+            None | Some("false") => None,
+            Some("true") => Some(ibsim::telemetry::default_every()),
+            Some(us) => {
+                let us: u64 = us
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--telemetry wants a period in µs, got {us:?}"));
+                assert!(us > 0, "--telemetry period must be positive");
+                Some(ibsim_engine::time::TimeDelta::from_us(us))
+            }
+        }
+    }
+
+    /// Apply the shared `--telemetry` flag: force the sampler + flight
+    /// recorder on for every run this process performs, landing the
+    /// `telemetry_*.csv` / `flight_*.json` / `figure_*.csv` artifacts
+    /// in the `--out` directory. Without the flag the environment
+    /// (`IBSIM_TELEMETRY`) still decides.
+    pub fn apply_telemetry(&self) {
+        if let Some(every) = self.telemetry() {
+            ibsim::telemetry::force(Some(every));
+            ibsim::telemetry::set_out_dir(self.out_dir());
+        }
+    }
 }
 
 /// Format a float with 3 decimals for tables.

@@ -24,6 +24,10 @@ pub struct SwitchSnapshot {
     /// Arbitration rounds that found a ready packet but no credits —
     /// the `Xmit_Wait`-style stalled-cycles counter of real switches.
     pub stalled_rounds: u64,
+    /// The same counter resolved per output port (index = port number),
+    /// so a snapshot localises *which* link is credit-starved, exactly
+    /// as per-port `PortXmitWait` does on real switches.
+    pub stalled_rounds_per_port: Vec<u64>,
 }
 
 /// Aggregate state of one HCA at a point in time.
@@ -63,11 +67,13 @@ impl NetworkSnapshot {
                 let mut congested = 0;
                 let mut forwarded = 0;
                 let mut stalled = 0;
+                let mut per_port = Vec::with_capacity(sw.ports.len());
                 for p in &sw.ports {
                     queued += p.queued_packets();
                     congested += usize::from(p.cong.iter().any(|c| c.in_congestion()));
                     forwarded += p.forwarded_packets;
                     stalled += p.xmit_wait;
+                    per_port.push(p.xmit_wait);
                 }
                 SwitchSnapshot {
                     switch: i,
@@ -76,6 +82,7 @@ impl NetworkSnapshot {
                     marked_packets: sw.marked_packets(),
                     forwarded_packets: forwarded,
                     stalled_rounds: stalled,
+                    stalled_rounds_per_port: per_port,
                 }
             })
             .collect();
@@ -183,9 +190,26 @@ mod tests {
         // port must spend arbitration rounds credit-blocked.
         let net = congested_net(false);
         let snap = NetworkSnapshot::capture(&net);
+        let sw = &snap.switches[0];
         assert!(
-            snap.switches[0].stalled_rounds > 0,
+            sw.stalled_rounds > 0,
             "no stalls recorded under a saturated hotspot"
+        );
+        // The per-port breakdown accounts for the aggregate exactly and
+        // localises the stall to the hotspot's egress (port 0).
+        assert_eq!(sw.stalled_rounds_per_port.len(), 8, "one slot per port");
+        assert_eq!(
+            sw.stalled_rounds_per_port.iter().sum::<u64>(),
+            sw.stalled_rounds
+        );
+        assert!(
+            sw.stalled_rounds_per_port[0] > 0,
+            "the victim's egress port is the stalled one"
+        );
+        let elsewhere: u64 = sw.stalled_rounds_per_port[1..].iter().sum();
+        assert!(
+            sw.stalled_rounds_per_port[0] >= elsewhere,
+            "stalls concentrate on the hot port"
         );
     }
 
@@ -206,5 +230,6 @@ mod tests {
         let snap = NetworkSnapshot::capture(&net);
         let js = serde_json::to_string(&snap).unwrap();
         assert!(js.contains("queued_packets"));
+        assert!(js.contains("stalled_rounds_per_port"));
     }
 }

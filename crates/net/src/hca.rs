@@ -77,6 +77,12 @@ pub struct Hca {
     pub delivered_packets: u64,
     pub cnps_sent: u64,
     pub cnps_delivered: u64,
+    /// Cumulative data bytes delivered / injected since simulation
+    /// start. Unlike the windowed meters these never reset, so a
+    /// telemetry sampler can difference them at any cadence without
+    /// touching the measurement window.
+    pub rx_bytes_total: u64,
+    pub tx_bytes_total: u64,
 }
 
 impl Hca {
@@ -108,6 +114,8 @@ impl Hca {
             delivered_packets: 0,
             cnps_sent: 0,
             cnps_delivered: 0,
+            rx_bytes_total: 0,
+            tx_bytes_total: 0,
         }
     }
 
@@ -229,6 +237,7 @@ impl Hca {
         if pkt.is_cnp() {
             self.cnps_sent += 1;
         } else {
+            self.tx_bytes_total += pkt.bytes as u64;
             self.tx_meter.record(now, pkt.bytes as u64);
             if cc_enabled {
                 let key = self.cc.flow_key(pkt.dst, pkt.sl);
@@ -282,6 +291,7 @@ impl Hca {
             }
             PacketKind::Data { .. } => {
                 self.delivered_packets += 1;
+                self.rx_bytes_total += pkt.bytes as u64;
                 if self.rx_meter.is_open(now) {
                     self.rx_by_src[pkt.src as usize] += pkt.bytes as u64;
                 }

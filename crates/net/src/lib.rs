@@ -26,6 +26,7 @@ pub mod gen;
 pub mod hca;
 pub mod network;
 pub mod switch;
+pub mod telemetry;
 pub mod trace;
 pub mod types;
 pub mod vlarb;
@@ -38,6 +39,7 @@ pub use gen::{DestPattern, TrafficClass, PAPER_MSG_BYTES};
 pub use hca::Hca;
 pub use network::{Dev, Event, Network};
 pub use switch::Switch;
+pub use telemetry::{FlightDump, FlightEvent, FlightKind, NetTelemetry, TelemetryConfig};
 pub use trace::{TracePoint, TraceRecord, Tracer};
 pub use types::{blocks_for, NodeId, Packet, PacketKind, Vl, BLOCK_BYTES, CNP_BYTES};
 pub use vlarb::{VlArbTable, VlArbiter, VlWeight};

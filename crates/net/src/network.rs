@@ -5,6 +5,7 @@ use crate::config::NetConfig;
 use crate::gen::TrafficClass;
 use crate::hca::{Hca, NextSend};
 use crate::switch::{Desc, Grant, Switch};
+use crate::telemetry::{FlightKind, NetTelemetry, TelemetryConfig};
 use crate::trace::{TracePoint, Tracer};
 use crate::types::{NodeId, Packet, Vl};
 use ibsim_cc::HcaCc;
@@ -79,6 +80,9 @@ pub struct Network {
     /// The fault-injection state machine; `None` (the default, and any
     /// empty schedule) costs one branch on the affected paths.
     faults: Option<Box<FaultState>>,
+    /// The telemetry sampler + flight recorder; `None` costs one branch
+    /// per popped event.
+    telemetry: Option<Box<NetTelemetry>>,
     primed: bool,
     measuring_since: Option<Time>,
     measured_until: Option<Time>,
@@ -204,6 +208,7 @@ impl Network {
             tracer: None,
             audit: None,
             faults: None,
+            telemetry: None,
             primed: false,
             measuring_since: None,
             measured_until: None,
@@ -251,6 +256,56 @@ impl Network {
 
     pub fn audit_enabled(&self) -> bool {
         self.audit.is_some()
+    }
+
+    /// Turn the telemetry sampler + flight recorder on. Must be enabled
+    /// before the first event is dispatched so the cumulative counters
+    /// the sampler differences start from an empty fabric. Sampling
+    /// never schedules events or draws randomness: a telemetry-on run
+    /// is bit-identical to a telemetry-off run.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        assert!(
+            self.queue.processed() == 0,
+            "enable_telemetry after events were dispatched"
+        );
+        self.telemetry = Some(Box::new(NetTelemetry::new(self, cfg)));
+    }
+
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry state (sample table + flight recorder), if enabled.
+    pub fn telemetry(&self) -> Option<&NetTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Events currently scheduled on the calendar queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.pending()
+    }
+
+    /// Append a structured event to the flight recorder; no-op when
+    /// telemetry is off. Runners use this for marks the net layer
+    /// cannot see (measurement windows, drill floor breaches).
+    pub fn flight_note(
+        &mut self,
+        kind: FlightKind,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if let Some(t) = &mut self.telemetry {
+            t.flight.record(self.queue.now(), kind, subject, detail);
+        }
+    }
+
+    /// The flight-recorder dump document (events window + current
+    /// sample), serialised; `None` when telemetry is off.
+    pub fn flight_dump_json(&self, reason: &str) -> Option<String> {
+        self.telemetry.as_deref().map(|t| {
+            serde_json::to_string_pretty(&t.dump(self.queue.now(), reason))
+                .expect("flight dump serialises")
+        })
     }
 
     /// Install a compiled fault schedule, resolving its link selectors
@@ -340,6 +395,41 @@ impl Network {
         }
     }
 
+    /// [`Network::audit_now`] plus flight-recorder context: a clean
+    /// pass records an `AuditPass`, each unsanctioned violation records
+    /// a `Violation`, and — when anything unsanctioned surfaced — the
+    /// whole flight window is dumped to `$IBSIM_FLIGHT_DUMP` (if set)
+    /// *before* the caller gets the chance to raise and panic.
+    pub fn audit_checked(&mut self) -> ibsim_check::AuditReport {
+        let report = self.audit_now();
+        if self.telemetry.is_some() && self.audit.is_some() {
+            if report.has_unsanctioned() {
+                let viols: Vec<String> = report
+                    .unsanctioned()
+                    .map(|v| v.to_string())
+                    .collect();
+                for v in &viols {
+                    self.flight_note(FlightKind::Violation, "audit", v.clone());
+                }
+                if let Ok(path) = std::env::var("IBSIM_FLIGHT_DUMP") {
+                    if !path.is_empty() {
+                        let doc = self
+                            .flight_dump_json("unsanctioned audit violation")
+                            .expect("telemetry is on");
+                        let _ = std::fs::write(path, doc);
+                    }
+                }
+            } else {
+                self.flight_note(
+                    FlightKind::AuditPass,
+                    "audit",
+                    format!("clean; sanctioned drops {}", report.sanctioned_drops),
+                );
+            }
+        }
+        report
+    }
+
     /// True when the periodic cadence wants a pass (advances the
     /// schedule).
     #[inline]
@@ -356,9 +446,16 @@ impl Network {
         self.queue.last_pop()
     }
 
-    /// Trace the given (src, dst) flows hop by hop.
+    /// Trace the given (src, dst) flows hop by hop. Calls merge: a
+    /// second call (in any order relative to `enable_audit` /
+    /// `install_faults` / `enable_telemetry`) widens the flow set and
+    /// keeps records already collected, rather than silently dropping
+    /// the earlier tracer.
     pub fn enable_trace(&mut self, flows: impl IntoIterator<Item = (NodeId, NodeId)>) {
-        self.tracer = Some(Tracer::for_flows(flows));
+        match &mut self.tracer {
+            Some(t) => t.add_flows(flows),
+            None => self.tracer = Some(Tracer::for_flows(flows)),
+        }
     }
 
     /// Collected trace records (empty tracer if tracing is off).
@@ -433,10 +530,36 @@ impl Network {
             self.prime();
         }
         while let Some((at, ev)) = self.queue.pop_until(t) {
+            // Sample every cadence boundary strictly before this event:
+            // state is constant in between, so the boundary reading is
+            // exact even though it is taken lazily.
+            if matches!(&self.telemetry, Some(tel) if tel.due_before(at)) {
+                self.telemetry_sample(at, false);
+            }
             self.dispatch(at, ev);
             if self.audit_due() {
-                self.audit_now().raise();
+                self.audit_checked().raise();
             }
+        }
+        // Boundaries up to and including `t` belong to this segment.
+        if matches!(&self.telemetry, Some(tel) if tel.due_at(t)) {
+            self.telemetry_sample(t, true);
+        }
+    }
+
+    /// Take/restore dance around `&mut telemetry` + `&self` sampling.
+    /// Samples boundaries `< at` (or `≤ at` when `inclusive`).
+    fn telemetry_sample(&mut self, at: Time, inclusive: bool) {
+        if let Some(mut tel) = self.telemetry.take() {
+            while if inclusive {
+                tel.due_at(at)
+            } else {
+                tel.due_before(at)
+            } {
+                let b = tel.pop_boundary();
+                tel.sample(b, self);
+            }
+            self.telemetry = Some(tel);
         }
     }
 
@@ -456,9 +579,12 @@ impl Network {
                 // ever send again; the heap then drains and we stop.
                 continue;
             }
+            if matches!(&self.telemetry, Some(tel) if tel.due_before(at)) {
+                self.telemetry_sample(at, false);
+            }
             self.dispatch(at, ev);
             if self.audit_due() {
-                self.audit_now().raise();
+                self.audit_checked().raise();
             }
             if !is_tick {
                 last = at;
@@ -467,6 +593,9 @@ impl Network {
                 self.queue.processed() <= max_events,
                 "run_to_idle exceeded {max_events} events; unbounded workload?"
             );
+        }
+        if matches!(&self.telemetry, Some(tel) if tel.due_at(last)) {
+            self.telemetry_sample(last, true);
         }
         last
     }
@@ -650,6 +779,13 @@ impl Network {
             Some(f) => f.apply(idx as usize),
             None => unreachable!("Fault event without an installed schedule"),
         };
+        if self.telemetry.is_some() {
+            self.flight_note(
+                FlightKind::FaultTransition,
+                format!("fault{idx}"),
+                format!("{effect:?}"),
+            );
+        }
         match effect {
             AppliedEffect::None => {}
             AppliedEffect::PauseHca(h) => self.hcas[h as usize].pause_sink(),
@@ -743,6 +879,13 @@ impl Network {
                 fecn: pkt.fecn,
             },
         );
+        if pkt.fecn && self.telemetry.is_some() {
+            self.flight_note(
+                FlightKind::Mark,
+                format!("sw{si}.p{port}"),
+                format!("{}->{} vl{} seq {}", pkt.src, pkt.dst, pkt.vl, pkt.seq),
+            );
+        }
         let vl = pkt.vl;
 
         // Transmitter done → next arbitration.
@@ -928,6 +1071,14 @@ impl Network {
             (pkt, next)
         };
         self.trace(now, &pkt, TracePoint::Deliver);
+        if pkt.is_cnp() && self.telemetry.is_some() {
+            let ccti = self.hcas[hi as usize].cc.max_ccti();
+            self.flight_note(
+                FlightKind::Throttle,
+                format!("hca{hi}"),
+                format!("cnp from {}; max_ccti {ccti}", pkt.src),
+            );
+        }
         if let Some(dt) = next {
             self.queue.schedule(now + dt, Event::SinkDone { hca: hi });
         }

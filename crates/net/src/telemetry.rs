@@ -1,0 +1,280 @@
+//! Fabric telemetry: the periodic sampler and flight recorder wired to
+//! this network model.
+//!
+//! [`NetTelemetry`] owns a dense [`Registry`] whose metric blocks are
+//! keyed by the simulator's existing id spaces — HCA ids, flat
+//! (switch, port) indices — plus the ring-buffered [`SampleTable`] the
+//! sampler fills and the [`FlightRecorder`] the event hooks feed. The
+//! `Network` holds the whole thing behind `Option<Box<NetTelemetry>>`:
+//! disabled runs pay one `None` branch per event, exactly like the
+//! invariant oracle and the fault state.
+//!
+//! Sampling is driven by the event loop, **not** by scheduled events:
+//! state is constant between events, so each cadence boundary is
+//! sampled lazily once the loop pops past it. No event is ever added,
+//! no RNG drawn — a telemetry-on run is bit-identical to a
+//! telemetry-off run (pinned by `tests/telemetry.rs` and the
+//! workspace determinism pins).
+
+use crate::network::Network;
+use ibsim_engine::time::Time;
+use ibsim_engine::RunMeter;
+use ibsim_telemetry::{
+    Cadence, FlightRecorder, HistId, MetricId, MetricKind, Registry, SampleRow, SampleTable,
+};
+use serde::Serialize;
+
+pub use ibsim_telemetry::{FlightEvent, FlightKind, TelemetryConfig};
+
+/// Columns allocated per HCA (see `NetTelemetry::new`).
+const HCA_METRICS: [(&str, MetricKind); 7] = [
+    ("rx_gbps", MetricKind::Counter),
+    ("tx_gbps", MetricKind::Counter),
+    ("max_ccti", MetricKind::Gauge),
+    ("mean_ccti", MetricKind::Gauge),
+    ("ird_mult", MetricKind::Gauge),
+    ("throttled", MetricKind::Gauge),
+    ("sink_depth", MetricKind::Gauge),
+];
+
+/// All telemetry state of one network. Constructed against the wired
+/// fabric (the dense tables are sized from it) before the first event.
+pub struct NetTelemetry {
+    cadence: Cadence,
+    reg: Registry,
+    table: SampleTable,
+    pub(crate) flight: FlightRecorder,
+    run_meter: RunMeter,
+    // -- column bases ------------------------------------------------------
+    /// 7 blocks of `n_hcas` columns each, in `HCA_METRICS` order.
+    hca_base: [MetricId; HCA_METRICS.len()],
+    port_occ: MetricId,
+    port_stall: MetricId,
+    fab_fecn: MetricId,
+    fab_becn: MetricId,
+    fab_cnp: MetricId,
+    fab_max_ccti: MetricId,
+    fab_throttled: MetricId,
+    eng_events: MetricId,
+    eng_qdepth: MetricId,
+    eng_eps: MetricId,
+    eng_wall: MetricId,
+    occ_hist: HistId,
+    // -- flat (switch, port) indexing -------------------------------------
+    /// Base into the flat port arrays, per switch.
+    port_start: Vec<usize>,
+    // -- previous cumulative counters (for per-interval deltas) -----------
+    prev_rx: Vec<u64>,
+    prev_tx: Vec<u64>,
+    prev_stall: Vec<u64>,
+    prev_fecn: u64,
+    prev_becn: u64,
+    prev_cnp: u64,
+}
+
+impl NetTelemetry {
+    pub(crate) fn new(net: &Network, cfg: TelemetryConfig) -> Self {
+        let n = net.hcas.len();
+        let mut port_start = Vec::with_capacity(net.switches.len());
+        let mut n_ports = 0usize;
+        for sw in &net.switches {
+            port_start.push(n_ports);
+            n_ports += sw.radix();
+        }
+        let mut reg = Registry::new();
+        let hca_base = HCA_METRICS
+            .map(|(name, kind)| reg.block(n, kind, |i| format!("hca{i}.{name}")));
+        let port_name = |flat: usize| {
+            let s = port_start.partition_point(|&b| b <= flat) - 1;
+            format!("sw{s}.p{}", flat - port_start[s])
+        };
+        let port_occ = reg.block(n_ports, MetricKind::Gauge, |f| {
+            format!("{}.occ_blocks", port_name(f))
+        });
+        let port_stall = reg.block(n_ports, MetricKind::Counter, |f| {
+            format!("{}.stalls", port_name(f))
+        });
+        let fab_fecn = reg.counter("fabric.fecn_per_us");
+        let fab_becn = reg.counter("fabric.becn_per_us");
+        let fab_cnp = reg.counter("fabric.cnp_tx_per_us");
+        let fab_max_ccti = reg.gauge("fabric.max_ccti");
+        let fab_throttled = reg.gauge("fabric.throttled_flows");
+        let eng_events = reg.counter("engine.events");
+        let eng_qdepth = reg.gauge("engine.queue_depth");
+        let eng_eps = reg.counter("engine.events_per_sec");
+        let eng_wall = reg.counter("engine.wall_ms_per_sim_ms");
+        let occ_hist = reg.histogram("fabric.total_occ_blocks");
+        let table = SampleTable::new(
+            reg.names().to_vec(),
+            reg.kinds().to_vec(),
+            cfg.sample_capacity,
+        );
+        NetTelemetry {
+            cadence: Cadence::new(cfg.every),
+            reg,
+            table,
+            flight: FlightRecorder::with_capacity(cfg.flight_capacity),
+            run_meter: RunMeter::start(net.events_processed(), net.now()),
+            hca_base,
+            port_occ,
+            port_stall,
+            fab_fecn,
+            fab_becn,
+            fab_cnp,
+            fab_max_ccti,
+            fab_throttled,
+            eng_events,
+            eng_qdepth,
+            eng_eps,
+            eng_wall,
+            occ_hist,
+            port_start,
+            prev_rx: vec![0; n],
+            prev_tx: vec![0; n],
+            prev_stall: vec![0; n_ports],
+            prev_fecn: 0,
+            prev_becn: 0,
+            prev_cnp: 0,
+        }
+    }
+
+    /// Is a sample boundary strictly before `at` pending?
+    #[inline]
+    pub(crate) fn due_before(&self, at: Time) -> bool {
+        self.cadence.due_before(at)
+    }
+
+    /// Is a sample boundary at or before `t` pending?
+    #[inline]
+    pub(crate) fn due_at(&self, t: Time) -> bool {
+        self.cadence.due_at(t)
+    }
+
+    /// Consume the next boundary time.
+    pub(crate) fn pop_boundary(&mut self) -> Time {
+        self.cadence.pop()
+    }
+
+    /// Record every metric at boundary `at` into the ring. Read-only
+    /// with respect to the network.
+    pub(crate) fn sample(&mut self, at: Time, net: &Network) {
+        let every_ps = self.cadence.every().as_ps() as f64;
+        let dt_us = every_ps / 1e6;
+        // bytes over one interval → Gbit/s: bits / ps · 10³.
+        let gbps = |bytes: u64| bytes as f64 * 8.0 / every_ps * 1e3;
+
+        let [rx, tx, maxc, meanc, ird, thr, sink] = self.hca_base;
+        for (i, h) in net.hcas.iter().enumerate() {
+            let rxd = h.rx_bytes_total - self.prev_rx[i];
+            self.prev_rx[i] = h.rx_bytes_total;
+            let txd = h.tx_bytes_total - self.prev_tx[i];
+            self.prev_tx[i] = h.tx_bytes_total;
+            self.reg.set_at(rx, i, gbps(rxd));
+            self.reg.set_at(tx, i, gbps(txd));
+            self.reg.set_at(maxc, i, h.cc.max_ccti() as f64);
+            let tracked = h.cc.tracked_flows();
+            let mean = if tracked > 0 {
+                h.cc.sum_ccti() as f64 / tracked as f64
+            } else {
+                0.0
+            };
+            self.reg.set_at(meanc, i, mean);
+            self.reg.set_at(ird, i, h.cc.ird_multiplier() as f64);
+            self.reg.set_at(thr, i, h.cc.throttled_flows() as f64);
+            self.reg.set_at(sink, i, h.sink_depth() as f64);
+        }
+
+        let mut total_occ = 0u64;
+        for (s, sw) in net.switches.iter().enumerate() {
+            let base = self.port_start[s];
+            for p in 0..sw.radix() {
+                let occ: u64 = (0..sw.n_vls())
+                    .map(|vl| sw.buffered_blocks(p as u16, vl))
+                    .sum();
+                total_occ += occ;
+                self.reg.set_at(self.port_occ, base + p, occ as f64);
+                let xw = sw.ports[p].xmit_wait;
+                self.reg
+                    .set_at(self.port_stall, base + p, (xw - self.prev_stall[base + p]) as f64);
+                self.prev_stall[base + p] = xw;
+            }
+        }
+        self.reg.record_hist(self.occ_hist, total_occ);
+
+        let fecn = net.total_fecn_marks();
+        let becn = net.total_becns();
+        let cnp: u64 = net.hcas.iter().map(|h| h.cnps_sent).sum();
+        self.reg
+            .set(self.fab_fecn, (fecn - self.prev_fecn) as f64 / dt_us);
+        self.reg
+            .set(self.fab_becn, (becn - self.prev_becn) as f64 / dt_us);
+        self.reg
+            .set(self.fab_cnp, (cnp - self.prev_cnp) as f64 / dt_us);
+        self.prev_fecn = fecn;
+        self.prev_becn = becn;
+        self.prev_cnp = cnp;
+        self.reg.set(self.fab_max_ccti, net.max_ccti() as f64);
+        let throttled: usize = net.hcas.iter().map(|h| h.cc.throttled_flows()).sum();
+        self.reg.set(self.fab_throttled, throttled as f64);
+
+        let lap = self.run_meter.lap(net.events_processed(), at);
+        self.reg.set(self.eng_events, lap.events as f64);
+        self.reg.set(self.eng_qdepth, net.queue_depth() as f64);
+        self.reg.set(self.eng_eps, lap.events_per_sec());
+        self.reg.set(self.eng_wall, lap.wall_ms_per_sim_ms());
+
+        self.table.push(at.as_ps(), self.reg.values());
+    }
+
+    /// The recorded time series.
+    pub fn table(&self) -> &SampleTable {
+        &self.table
+    }
+
+    /// The flight recorder's retained window.
+    pub fn flight_events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.flight.events()
+    }
+
+    /// The sampling period.
+    pub fn every(&self) -> ibsim_engine::time::TimeDelta {
+        self.cadence.every()
+    }
+
+    /// Assemble the owned dump document written on a violation (or at
+    /// end of run by the experiment runners).
+    pub fn dump(&self, at: Time, reason: &str) -> FlightDump {
+        let h = self.reg.hist(self.occ_hist);
+        FlightDump {
+            at_ps: at.as_ps(),
+            reason: reason.to_string(),
+            recorded: self.flight.recorded(),
+            dropped: self.flight.dropped(),
+            events: self.flight.events().cloned().collect(),
+            metric_names: self.table.names().to_vec(),
+            current_sample: self.table.latest().cloned(),
+            occ_blocks_p50: h.quantile(0.5),
+            occ_blocks_p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// The flight-recorder dump: the causal window of structured events
+/// plus the current metric sample — written as `flight_{run}.json`, and
+/// automatically (to `IBSIM_FLIGHT_DUMP`) when an audit raises an
+/// unsanctioned violation.
+#[derive(Clone, Debug, Serialize)]
+pub struct FlightDump {
+    pub at_ps: u64,
+    pub reason: String,
+    /// Flight events ever recorded / evicted from the window.
+    pub recorded: u64,
+    pub dropped: u64,
+    pub events: Vec<FlightEvent>,
+    pub metric_names: Vec<String>,
+    pub current_sample: Option<SampleRow>,
+    /// Whole-fabric buffered-blocks histogram quantiles over all samples.
+    pub occ_blocks_p50: Option<u64>,
+    pub occ_blocks_p99: Option<u64>,
+}
+

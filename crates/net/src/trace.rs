@@ -55,6 +55,13 @@ impl Tracer {
         }
     }
 
+    /// Widen the traced flow set, keeping records already collected.
+    /// `Network::enable_trace` merges through here so enable order
+    /// relative to other `enable_*`/`install_*` calls never matters.
+    pub fn add_flows(&mut self, flows: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        self.flows.extend(flows);
+    }
+
     #[inline]
     pub fn wants(&self, src: NodeId, dst: NodeId) -> bool {
         self.flows.contains(&(src, dst))

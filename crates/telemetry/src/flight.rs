@@ -1,0 +1,132 @@
+//! The flight recorder: a bounded ring of recent structured events —
+//! FECN marks, CCTI throttles, fault transitions, audit passes — that
+//! gives any failure a causal window. Like its aviation namesake it is
+//! always recording and only read after something goes wrong: the net
+//! layer dumps it (alongside the current metric sample) when an audit
+//! raises an unsanctioned violation or a drill breaches its floor.
+
+use crate::ring::Ring;
+use ibsim_engine::time::Time;
+use serde::Serialize;
+
+/// What kind of fabric event a record describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum FlightKind {
+    /// A FECN-marked packet was forwarded (congestion detected).
+    Mark,
+    /// A CNP reached its source and raised a flow's CCTI (throttle).
+    Throttle,
+    /// A scheduled fault transition fired.
+    FaultTransition,
+    /// A periodic or end-of-run audit pass completed.
+    AuditPass,
+    /// An unsanctioned audit violation was raised.
+    Violation,
+    /// A drill sample fell below its configured throughput floor.
+    FloorBreach,
+    /// Free-form annotation from a runner (measurement marks etc.).
+    Note,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, Serialize)]
+pub struct FlightEvent {
+    /// Simulated time of the event, picoseconds.
+    pub at_ps: u64,
+    /// Monotonic record number (survives ring eviction, so a dump shows
+    /// how many earlier events were lost).
+    pub seq: u64,
+    pub kind: FlightKind,
+    /// What the event happened to (`sw2.p5`, `hca17`, `audit`, …).
+    pub subject: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Bounded recorder; pushes evict the oldest record.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    ring: Ring<FlightEvent>,
+    seq: u64,
+}
+
+impl FlightRecorder {
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: Ring::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    pub fn record(
+        &mut self,
+        at: Time,
+        kind: FlightKind,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ring.push(FlightEvent {
+            at_ps: at.as_ps(),
+            seq,
+            kind,
+            subject: subject.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.ring.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted from the window so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Records ever taken (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_evicts_with_stable_seq() {
+        let mut fr = FlightRecorder::with_capacity(2);
+        fr.record(Time(10), FlightKind::Mark, "sw0.p1", "0->3 seq 7");
+        fr.record(Time(20), FlightKind::Throttle, "hca0", "ccti 4");
+        fr.record(Time(30), FlightKind::AuditPass, "audit", "clean");
+        assert_eq!(fr.len(), 2);
+        assert_eq!(fr.dropped(), 1);
+        assert_eq!(fr.recorded(), 3);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2], "seq numbers survive eviction");
+    }
+
+    #[test]
+    fn events_serialise() {
+        let mut fr = FlightRecorder::with_capacity(4);
+        fr.record(Time(1), FlightKind::Violation, "channel 3 VL 0", "credits");
+        let evs: Vec<&FlightEvent> = fr.events().collect();
+        let v = serde::Serialize::to_value(&evs[0]);
+        assert_eq!(
+            v.get("kind").cloned(),
+            Some(serde::Value::Str("Violation".into()))
+        );
+        assert_eq!(v.get("at_ps").cloned(), Some(serde::Value::U64(1)));
+    }
+}

@@ -1,0 +1,86 @@
+//! # ibsim-telemetry
+//!
+//! Observability primitives for the simulation fabric: a dense,
+//! `Vec`-indexed metrics [`Registry`], a fixed-capacity [`Ring`], a
+//! periodic sampler [`Cadence`], a time-series [`SampleTable`], and a
+//! bounded structured-event [`FlightRecorder`].
+//!
+//! The crate knows nothing about networks or congestion control — the
+//! network model owns *what* to measure and calls into these types at
+//! its existing instrumentation points. Two properties matter:
+//!
+//! * **zero overhead when off** — the consumer holds the whole
+//!   telemetry state behind one `Option`; nothing here allocates, hashes
+//!   or branches on the hot path. All metric accesses are plain `Vec`
+//!   indexing through pre-allocated [`MetricId`] blocks keyed by the
+//!   same dense node/channel/VL id spaces the simulator already uses;
+//! * **purely observational when on** — sampling reads state and writes
+//!   rings; it never schedules events, draws randomness, or touches
+//!   simulation state, so a telemetry-on run is bit-identical to a
+//!   telemetry-off run (the net crate pins this with an exact-equality
+//!   test, mirroring the invariant oracle's).
+
+pub mod flight;
+pub mod registry;
+pub mod ring;
+pub mod sampler;
+pub mod series;
+
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
+pub use registry::{HistId, MetricId, MetricKind, Registry};
+pub use ring::Ring;
+pub use sampler::Cadence;
+pub use series::{SampleRow, SampleTable};
+
+use ibsim_engine::time::TimeDelta;
+
+/// Knobs for a telemetry-enabled run. The defaults match the paper's
+/// figures: one sample every 100 µs, rings sized so every preset's full
+/// run fits without wrapping (paper preset: 102 ms / 100 µs = 1021
+/// samples), and a flight window deep enough to hold the causal context
+/// of a violation (marks, throttles and fault transitions of the last
+/// few hundred microseconds under congestion).
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Simulated time between samples.
+    pub every: TimeDelta,
+    /// Ring capacity of the sample table (rows; oldest evicted first).
+    pub sample_capacity: usize,
+    /// Ring capacity of the flight recorder (events).
+    pub flight_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// The default geometry at a caller-chosen sampling period.
+    pub fn every(every: TimeDelta) -> Self {
+        TelemetryConfig {
+            every,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            every: TimeDelta::from_us(100),
+            sample_capacity: 4096,
+            flight_capacity: 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = TelemetryConfig::default();
+        assert_eq!(cfg.every, TimeDelta::from_us(100));
+        assert!(cfg.sample_capacity >= 1021, "paper preset must fit");
+        let c = TelemetryConfig::every(TimeDelta::from_us(50));
+        assert_eq!(c.every, TimeDelta::from_us(50));
+        assert_eq!(c.sample_capacity, cfg.sample_capacity);
+    }
+}

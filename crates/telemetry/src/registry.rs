@@ -1,0 +1,181 @@
+//! The metrics registry: a dense table of named scalar metrics plus a
+//! side table of log2 histograms. Metrics are allocated once at setup
+//! — singly or in contiguous blocks keyed by the caller's dense id
+//! spaces (node, channel, (switch, port), VL) — and every subsequent
+//! access is plain `Vec` indexing. No `HashMap`, no string lookups, no
+//! allocation after setup.
+
+use serde::Serialize;
+
+/// Handle to one scalar metric (an index into the registry's dense
+/// value table). Block allocation returns the base id; `base + i`
+/// addresses the i-th entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MetricId(pub u32);
+
+/// Handle to one histogram.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HistId(pub u32);
+
+/// How a metric's sampled value is to be read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum MetricKind {
+    /// A per-interval rate or delta (resets each sample).
+    Counter,
+    /// An instantaneous level.
+    Gauge,
+}
+
+/// Dense metric store: `names[i]` / `kinds[i]` describe `values[i]`.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    names: Vec<String>,
+    kinds: Vec<MetricKind>,
+    values: Vec<f64>,
+    hist_names: Vec<String>,
+    hists: Vec<ibsim_engine::Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn alloc(&mut self, name: String, kind: MetricKind) -> MetricId {
+        let id = MetricId(self.values.len() as u32);
+        self.names.push(name);
+        self.kinds.push(kind);
+        self.values.push(0.0);
+        id
+    }
+
+    /// Allocate a single gauge.
+    pub fn gauge(&mut self, name: impl Into<String>) -> MetricId {
+        self.alloc(name.into(), MetricKind::Gauge)
+    }
+
+    /// Allocate a single counter (per-interval delta/rate).
+    pub fn counter(&mut self, name: impl Into<String>) -> MetricId {
+        self.alloc(name.into(), MetricKind::Counter)
+    }
+
+    /// Allocate `n` contiguous metrics named by `name(i)`; returns the
+    /// base id. The caller indexes with its own dense ids.
+    pub fn block(
+        &mut self,
+        n: usize,
+        kind: MetricKind,
+        name: impl Fn(usize) -> String,
+    ) -> MetricId {
+        let base = MetricId(self.values.len() as u32);
+        for i in 0..n {
+            self.alloc(name(i), kind);
+        }
+        base
+    }
+
+    /// Allocate a log2 histogram.
+    pub fn histogram(&mut self, name: impl Into<String>) -> HistId {
+        let id = HistId(self.hists.len() as u32);
+        self.hist_names.push(name.into());
+        self.hists.push(ibsim_engine::Histogram::new());
+        id
+    }
+
+    #[inline]
+    pub fn set(&mut self, id: MetricId, v: f64) {
+        self.values[id.0 as usize] = v;
+    }
+
+    /// Set entry `i` of a block allocated with [`Registry::block`].
+    #[inline]
+    pub fn set_at(&mut self, base: MetricId, i: usize, v: f64) {
+        self.values[base.0 as usize + i] = v;
+    }
+
+    #[inline]
+    pub fn add(&mut self, id: MetricId, v: f64) {
+        self.values[id.0 as usize] += v;
+    }
+
+    #[inline]
+    pub fn get(&self, id: MetricId) -> f64 {
+        self.values[id.0 as usize]
+    }
+
+    #[inline]
+    pub fn record_hist(&mut self, id: HistId, v: u64) {
+        self.hists[id.0 as usize].record(v);
+    }
+
+    pub fn hist(&self, id: HistId) -> &ibsim_engine::Histogram {
+        &self.hists[id.0 as usize]
+    }
+
+    pub fn hist_names(&self) -> &[String] {
+        &self.hist_names
+    }
+
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub fn kinds(&self) -> &[MetricKind] {
+        &self.kinds
+    }
+
+    /// The current value row, in allocation order (one slot per metric).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_contiguous_and_dense() {
+        let mut r = Registry::new();
+        let total = r.counter("fabric.total");
+        let rx = r.block(4, MetricKind::Gauge, |i| format!("hca{i}.rx_gbps"));
+        r.set(total, 1.0);
+        r.set_at(rx, 2, 9.5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.names()[3], "hca2.rx_gbps");
+        assert_eq!(r.values()[3], 9.5);
+        assert_eq!(r.get(MetricId(rx.0 + 2)), 9.5);
+        assert_eq!(r.kinds()[0], MetricKind::Counter);
+        assert_eq!(r.kinds()[1], MetricKind::Gauge);
+    }
+
+    #[test]
+    fn add_accumulates_until_reset() {
+        let mut r = Registry::new();
+        let c = r.counter("marks");
+        r.add(c, 2.0);
+        r.add(c, 3.0);
+        assert_eq!(r.get(c), 5.0);
+        r.set(c, 0.0);
+        assert_eq!(r.get(c), 0.0);
+    }
+
+    #[test]
+    fn histograms_record() {
+        let mut r = Registry::new();
+        let h = r.histogram("occ_blocks");
+        for v in [1, 2, 4, 1024] {
+            r.record_hist(h, v);
+        }
+        assert_eq!(r.hist(h).count(), 4);
+        assert_eq!(r.hist_names(), &["occ_blocks".to_string()]);
+    }
+}

@@ -1,0 +1,103 @@
+//! A fixed-capacity ring buffer: push never allocates after
+//! construction, the oldest element is evicted on overflow, and
+//! iteration yields oldest-to-newest. The backbone of both the sample
+//! table and the flight recorder — telemetry memory is bounded no
+//! matter how long a run lasts.
+
+/// Fixed-capacity FIFO ring. Capacity must be nonzero.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    /// Index of the oldest element (valid when `len > 0`).
+    head: usize,
+    /// Total elements ever pushed; `min(pushed, capacity)` are retained.
+    pushed: u64,
+}
+
+impl<T> Ring<T> {
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Elements evicted so far (pushed minus retained).
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// Append, evicting the oldest element once full.
+    pub fn push(&mut self, item: T) {
+        self.pushed += 1;
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.buf.len();
+        }
+    }
+
+    /// The most recently pushed element.
+    pub fn latest(&self) -> Option<&T> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let i = (self.head + self.buf.len() - 1) % self.buf.len();
+        Some(&self.buf[i])
+    }
+
+    /// Oldest-to-newest iteration over the retained window.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let n = self.buf.len();
+        (0..n).map(move |i| &self.buf[(self.head + i) % n.max(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut r = Ring::with_capacity(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.latest(), Some(&4));
+    }
+
+    #[test]
+    fn under_capacity_keeps_order() {
+        let mut r = Ring::with_capacity(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.latest(), Some(&"b"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        Ring::<u8>::with_capacity(0);
+    }
+}

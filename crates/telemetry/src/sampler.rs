@@ -1,0 +1,127 @@
+//! Periodic sampling cadence over simulated time.
+//!
+//! The event loop owns the clock; the cadence only answers "which
+//! sample boundaries are due?". Boundaries land at `0, every,
+//! 2·every, …` — so a run over horizon `H` yields exactly
+//! `floor(H / every) + 1` samples, however the caller slices the run
+//! into `run_until` segments. Two query modes mirror how the loop
+//! consumes them:
+//!
+//! * **strictly before** the next event's timestamp (`due_before`):
+//!   state is constant between events, so a boundary `b < at` is
+//!   sampled exactly at `b` even though the wall of the loop has moved
+//!   on;
+//! * **inclusive at** a run boundary (`due_at`): `run_until(t)`
+//!   processes events at exactly `t`, so a flush at the end of the
+//!   segment samples boundaries `≤ t` after those events ran.
+
+use ibsim_engine::time::{Time, TimeDelta};
+
+/// The sample schedule: next pending boundary plus the period.
+#[derive(Clone, Copy, Debug)]
+pub struct Cadence {
+    every: TimeDelta,
+    next: Time,
+}
+
+impl Cadence {
+    /// A cadence with boundaries at `0, every, 2·every, …`.
+    pub fn new(every: TimeDelta) -> Self {
+        assert!(!every.is_zero(), "sampling period must be positive");
+        Cadence {
+            every,
+            next: Time::ZERO,
+        }
+    }
+
+    pub fn every(&self) -> TimeDelta {
+        self.every
+    }
+
+    /// The next boundary that has not been consumed yet.
+    pub fn next(&self) -> Time {
+        self.next
+    }
+
+    /// Is a boundary strictly before `at` pending?
+    #[inline]
+    pub fn due_before(&self, at: Time) -> bool {
+        self.next < at
+    }
+
+    /// Is a boundary at or before `t` pending?
+    #[inline]
+    pub fn due_at(&self, t: Time) -> bool {
+        self.next <= t
+    }
+
+    /// Consume and return the next boundary.
+    pub fn pop(&mut self) -> Time {
+        let t = self.next;
+        self.next = t + self.every;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Drain every boundary `< at` (the mid-run form), yielding each.
+    fn catch_up(c: &mut Cadence, at: Time, out: &mut Vec<Time>) {
+        while c.due_before(at) {
+            out.push(c.pop());
+        }
+    }
+
+    /// Drain every boundary `≤ t` (the end-of-segment flush form).
+    fn flush(c: &mut Cadence, t: Time, out: &mut Vec<Time>) {
+        while c.due_at(t) {
+            out.push(c.pop());
+        }
+    }
+
+    #[test]
+    fn boundaries_start_at_zero() {
+        let mut c = Cadence::new(TimeDelta::from_us(100));
+        assert!(c.due_at(Time::ZERO));
+        assert_eq!(c.pop(), Time::ZERO);
+        assert!(!c.due_at(Time::from_us(99)));
+        assert!(c.due_at(Time::from_us(100)));
+        assert!(!c.due_before(Time::from_us(100)));
+        assert!(c.due_before(Time(Time::from_us(100).as_ps() + 1)));
+    }
+
+    proptest! {
+        /// However a horizon is sliced into segments — catch-ups at
+        /// arbitrary interior event times, a flush at each segment end —
+        /// the total sample count is exactly floor(horizon/every) + 1.
+        #[test]
+        fn sample_count_is_floor_horizon_over_every_plus_one(
+            every_ps in 1u64..5_000,
+            horizon_ps in 0u64..1_000_000,
+            cuts in proptest::collection::vec(0u64..1_000_000, 0..6),
+        ) {
+            let mut c = Cadence::new(TimeDelta(every_ps));
+            let mut got = Vec::new();
+            let mut stops: Vec<u64> = cuts.into_iter().filter(|&t| t < horizon_ps).collect();
+            stops.sort_unstable();
+            let mut prev = 0u64;
+            for s in stops {
+                // Mid-segment: an event at time s triggers catch-up.
+                catch_up(&mut c, Time(s), &mut got);
+                // Segment boundary: run_until(s) flushes inclusively.
+                flush(&mut c, Time(s), &mut got);
+                prev = s;
+            }
+            let _ = prev;
+            flush(&mut c, Time(horizon_ps), &mut got);
+            let expect = horizon_ps / every_ps + 1;
+            prop_assert_eq!(got.len() as u64, expect);
+            // Boundaries are exact multiples, strictly increasing.
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(got.iter().all(|t| t.as_ps() % every_ps == 0));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The sample table: a ring of timestamped metric rows sharing one
+//! column layout (the registry's allocation order), exported as CSV
+//! (wide format, one column per metric) or JSON.
+
+use crate::registry::MetricKind;
+use crate::ring::Ring;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One sample: every registered metric's value at one boundary.
+#[derive(Clone, Debug, Serialize)]
+pub struct SampleRow {
+    pub t_ps: u64,
+    pub values: Vec<f64>,
+}
+
+/// A bounded time series over a fixed column set.
+#[derive(Clone, Debug)]
+pub struct SampleTable {
+    names: Vec<String>,
+    kinds: Vec<MetricKind>,
+    rows: Ring<SampleRow>,
+}
+
+/// Owned serialisable form of a [`SampleTable`] (rings don't serialise
+/// directly; the dump is what lands in `flight_*.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct SampleTableDump {
+    pub names: Vec<String>,
+    pub kinds: Vec<MetricKind>,
+    pub dropped_rows: u64,
+    pub rows: Vec<SampleRow>,
+}
+
+impl SampleTable {
+    pub fn new(names: Vec<String>, kinds: Vec<MetricKind>, capacity: usize) -> Self {
+        assert_eq!(names.len(), kinds.len());
+        SampleTable {
+            names,
+            kinds,
+            rows: Ring::with_capacity(capacity),
+        }
+    }
+
+    /// Append one row; `values` must match the column layout.
+    pub fn push(&mut self, t_ps: u64, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.names.len());
+        self.rows.push(SampleRow {
+            t_ps,
+            values: values.to_vec(),
+        });
+    }
+
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.rows.dropped()
+    }
+
+    /// Retained rows, oldest first.
+    pub fn rows(&self) -> impl Iterator<Item = &SampleRow> {
+        self.rows.iter()
+    }
+
+    pub fn latest(&self) -> Option<&SampleRow> {
+        self.rows.latest()
+    }
+
+    /// Column index of `name`, if registered.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The full series of one column (empty when the name is unknown).
+    pub fn series(&self, name: &str) -> Vec<f64> {
+        match self.col(name) {
+            Some(i) => self.rows().map(|r| r.values[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Wide-format CSV: `t_us,<metric>,<metric>,…` — one row per
+    /// sample. Values print with Rust's shortest-round-trip `f64`
+    /// formatting (deterministic for deterministic inputs; wall-clock
+    /// self-metrics naturally vary between runs).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_us");
+        for n in &self.names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for row in self.rows() {
+            let _ = write!(out, "{}", row.t_ps as f64 / 1e6);
+            for v in &row.values {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Owned dump for JSON export.
+    pub fn dump(&self) -> SampleTableDump {
+        SampleTableDump {
+            names: self.names.clone(),
+            kinds: self.kinds.clone(),
+            dropped_rows: self.rows.dropped(),
+            rows: self.rows().cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SampleTable {
+        let mut t = SampleTable::new(
+            vec!["a.rx".into(), "b.rx".into()],
+            vec![MetricKind::Gauge, MetricKind::Gauge],
+            4,
+        );
+        t.push(0, &[1.0, 2.0]);
+        t.push(100_000_000, &[3.5, 4.0]);
+        t
+    }
+
+    #[test]
+    fn csv_layout_and_series() {
+        let t = table();
+        let csv = t.to_csv();
+        assert_eq!(csv, "t_us,a.rx,b.rx\n0,1,2\n100,3.5,4\n");
+        assert_eq!(t.series("a.rx"), vec![1.0, 3.5]);
+        assert_eq!(t.col("b.rx"), Some(1));
+        assert!(t.series("missing").is_empty());
+        assert_eq!(t.latest().unwrap().t_ps, 100_000_000);
+    }
+
+    #[test]
+    fn ring_bounds_the_table() {
+        let mut t = table();
+        for i in 0..10u64 {
+            t.push(i, &[0.0, 0.0]);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 8);
+        assert_eq!(t.dump().rows.len(), 4);
+        assert_eq!(t.dump().dropped_rows, 8);
+    }
+}

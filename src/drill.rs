@@ -6,7 +6,7 @@
 use crate::experiment::RunDurations;
 use ibsim_engine::time::{Time, TimeDelta};
 use ibsim_faults::{FaultStats, RecoveryMetrics, Sample};
-use ibsim_net::{FaultSchedule, NetConfig, Network};
+use ibsim_net::{FaultSchedule, FlightKind, NetConfig, Network};
 use ibsim_topo::Topology;
 use ibsim_traffic::{RoleSpec, Scenario};
 use serde::Serialize;
@@ -29,6 +29,11 @@ pub struct DrillReport {
     /// Unsanctioned violations found by the end-of-run audit pass. The
     /// caller fails the run when this is nonzero.
     pub unsanctioned_violations: usize,
+    /// The configured victim-throughput floor (Gbit/s), if any.
+    pub floor_gbps: Option<f64>,
+    /// Bins whose victim throughput fell below the floor. Each breach
+    /// is also recorded in the flight window; the first one dumps it.
+    pub floor_breaches: usize,
 }
 
 /// Run `roles` on `topo` for `dur.total()`, with `schedule` installed,
@@ -45,25 +50,68 @@ pub fn run_drill(
     bin: TimeDelta,
     schedule: &FaultSchedule,
 ) -> (DrillReport, ibsim_check::AuditReport) {
+    run_drill_floor(topo, cfg, roles, dur, bin, schedule, None)
+}
+
+/// As [`run_drill`], with an optional victim-throughput floor in
+/// Gbit/s. Every bin below the floor is counted and recorded as a
+/// `FloorBreach` flight event; the first breach dumps the flight
+/// window (events + current metric sample) to
+/// `flight_breach_drill.json` in the telemetry out dir — the same
+/// automatic-dump contract an unsanctioned audit violation has.
+#[allow(clippy::too_many_arguments)]
+pub fn run_drill_floor(
+    topo: &Topology,
+    cfg: NetConfig,
+    roles: RoleSpec,
+    dur: RunDurations,
+    bin: TimeDelta,
+    schedule: &FaultSchedule,
+    floor_gbps: Option<f64>,
+) -> (DrillReport, ibsim_check::AuditReport) {
     assert!(!bin.is_zero(), "drill bin must be positive");
     let mut net = Network::new(topo, cfg);
     crate::audit::arm(&mut net);
+    crate::telemetry::arm(&mut net);
     net.install_faults(schedule.clone());
     let sc = Scenario::install_opts(roles, &mut net, ibsim_net::PAPER_MSG_BYTES, true);
 
     let t_end = Time::ZERO + dur.total();
-    let mut samples = Vec::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut floor_breaches = 0usize;
     let mut t = Time::ZERO;
     while t < t_end {
         let stop = (t + bin).min(t_end);
         net.start_measurement();
         net.run_until(stop);
         net.stop_measurement();
-        samples.push(Sample {
+        let s = Sample {
             t_us: stop.as_ps() as f64 / 1e6,
             gbps: sc.non_hotspot_avg_rx(&net),
             max_ccti: net.max_ccti(),
-        });
+        };
+        if floor_gbps.is_some_and(|floor| s.gbps < floor) {
+            floor_breaches += 1;
+            net.flight_note(
+                FlightKind::FloorBreach,
+                "drill",
+                format!(
+                    "bin ending {:.0}µs: victims {:.3} Gbit/s < floor {:.3}",
+                    s.t_us,
+                    s.gbps,
+                    floor_gbps.unwrap()
+                ),
+            );
+            if floor_breaches == 1 {
+                if let Some(doc) = net.flight_dump_json("drill floor breach") {
+                    let dir = crate::telemetry::out_dir();
+                    std::fs::create_dir_all(&dir).expect("create telemetry out dir");
+                    std::fs::write(dir.join("flight_breach_drill.json"), doc)
+                        .expect("write breach dump");
+                }
+            }
+        }
+        samples.push(s);
         t = stop;
     }
 
@@ -72,7 +120,8 @@ pub fn run_drill(
         .map(|(s, c)| (s.as_ps() as f64 / 1e6, c.as_ps() as f64 / 1e6))
         .unwrap_or((0.0, 0.0));
     let recovery = RecoveryMetrics::compute(&samples, start, clear);
-    let audit = net.audit_now();
+    crate::telemetry::finish(&net, "drill", &sc.assignment.hotspots);
+    let audit = net.audit_checked();
     let report = DrillReport {
         fault_start_us: start,
         fault_clear_us: clear,
@@ -81,6 +130,8 @@ pub fn run_drill(
         fault_stats: net.fault_stats().copied().unwrap_or_default(),
         audited_sanctioned_drops: audit.sanctioned_drops,
         unsanctioned_violations: audit.unsanctioned().count(),
+        floor_gbps,
+        floor_breaches,
     };
     (report, audit)
 }
@@ -127,6 +178,35 @@ mod tests {
             r.pre_fault_gbps
         );
         assert_eq!(report.unsanctioned_violations, 0);
+    }
+
+    #[test]
+    fn floor_breaches_are_counted_per_bin() {
+        let topo = FatTreeSpec::TEST_8.build();
+        let schedule =
+            FaultSchedule::from_spec("flap:link=hca:2,at=400us,dur=200us,factor=stall", 7)
+                .unwrap();
+        let (report, _) = run_drill_floor(
+            &topo,
+            NetConfig::paper(),
+            drill_roles(8),
+            RunDurations::new_ms(0, 1),
+            TimeDelta::from_us(250),
+            &schedule,
+            Some(1e6), // unreachable floor: every bin breaches
+        );
+        assert_eq!(report.floor_gbps, Some(1e6));
+        assert_eq!(report.floor_breaches, report.samples.len());
+        let (report, _) = run_drill_floor(
+            &topo,
+            NetConfig::paper(),
+            drill_roles(8),
+            RunDurations::new_ms(0, 1),
+            TimeDelta::from_us(250),
+            &schedule,
+            Some(0.0), // throughput is never negative: no breach
+        );
+        assert_eq!(report.floor_breaches, 0);
     }
 
     #[test]

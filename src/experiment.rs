@@ -120,6 +120,7 @@ pub fn run_scenario_faults(
     let inj = cfg.inj_rate;
     let mut net = Network::new(topo, cfg);
     crate::audit::arm(&mut net);
+    crate::telemetry::arm(&mut net);
     if let Some(schedule) = faults {
         net.install_faults(schedule.clone());
     }
@@ -162,9 +163,17 @@ pub fn run_scenario_faults(
         }
     }
     net.stop_measurement();
+    // Drain telemetry to disk before the audit pass: if the ledger is
+    // broken, the artifacts (and the violation-context flight dump the
+    // checked pass writes) survive the ensuing panic.
+    crate::telemetry::finish(
+        &net,
+        if net.cc_enabled() { "cc_on" } else { "cc_off" },
+        &sc.assignment.hotspots,
+    );
     // End-of-run invariant pass (no-op when auditing is off): a broken
     // ledger fails the run rather than reporting corrupt numbers.
-    net.audit_now().raise();
+    net.audit_checked().raise();
 
     let lat = net.latency_histogram();
     let to_us = |ps: Option<u64>| ps.map_or(0.0, |v| v as f64 / 1e6);

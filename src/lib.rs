@@ -44,12 +44,15 @@
 pub mod audit;
 pub mod drill;
 pub mod experiment;
+pub mod figures;
 pub mod preset;
 pub mod replicas;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 
-pub use drill::{run_drill, DrillReport};
+pub use drill::{run_drill, run_drill_floor, DrillReport};
+pub use figures::{FigureRow, FigureSeries};
 pub use experiment::{
     run_cc_pair, run_cc_pair_faults, run_scenario, run_scenario_faults, run_scenario_opts,
     CcComparison, RunDurations, ScenarioResult,
@@ -60,7 +63,8 @@ pub use sweep::{parallel_map, parallel_map_progress};
 
 /// One-stop imports for examples and binaries.
 pub mod prelude {
-    pub use crate::drill::{run_drill, DrillReport};
+    pub use crate::drill::{run_drill, run_drill_floor, DrillReport};
+    pub use crate::figures::{FigureRow, FigureSeries};
     pub use crate::experiment::{
         run_cc_pair, run_cc_pair_faults, run_scenario, run_scenario_faults, run_scenario_opts,
         CcComparison, RunDurations, ScenarioResult,

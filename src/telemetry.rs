@@ -1,0 +1,188 @@
+//! Process-wide toggle + sink for the fabric telemetry layer.
+//!
+//! The sampler and flight recorder live in `ibsim-telemetry` /
+//! `ibsim_net::telemetry`; this module decides *whether* a run records
+//! and *where* the artifacts land, so every experiment binary and
+//! library entry point agrees on one switch (the same contract as
+//! [`crate::audit`]):
+//!
+//! * `--telemetry[=EVERY_US]` on any experiment binary calls
+//!   [`force`]`(Some(every))`;
+//! * the `IBSIM_TELEMETRY` environment variable (`1`/`true`/`on`)
+//!   turns it on for processes that never parse flags, with
+//!   `IBSIM_TELEMETRY_EVERY` overriding the sampling period in
+//!   microseconds (default 100);
+//! * `IBSIM_TELEMETRY_OUT` (or [`set_out_dir`], which the binaries
+//!   call with their `--out` directory) picks where
+//!   `telemetry_{run}.csv` / `flight_{run}.json` / `figure_{run}.csv`
+//!   are written.
+//!
+//! [`arm`] applies the decision to a freshly-built [`Network`];
+//! [`finish`] drains the recorded series to disk at end of run. Each
+//! run in the process gets a unique `runNNN` label, so parallel sweeps
+//! never clobber each other's artifacts.
+
+use ibsim_engine::time::TimeDelta;
+use ibsim_net::{Network, TelemetryConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// 0 = follow the environment, `u64::MAX` = forced off, anything else =
+/// forced on with that sampling period in picoseconds.
+static FORCE_PS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic per-process run label counter (`run000`, `run001`, …).
+static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the environment (last call wins; `--telemetry` uses this).
+/// `Some(every)` forces sampling on at that period, `None` forces off.
+pub fn force(every: Option<TimeDelta>) {
+    let v = match every {
+        Some(e) => {
+            assert!(!e.is_zero(), "telemetry period must be positive");
+            e.as_ps()
+        }
+        None => u64::MAX,
+    };
+    FORCE_PS.store(v, Ordering::Relaxed);
+}
+
+/// The default sampling period when only an on/off signal is given.
+pub fn default_every() -> TimeDelta {
+    TimeDelta::from_us(100)
+}
+
+/// Should runs record telemetry, and at what period? Forced value if
+/// set, else `IBSIM_TELEMETRY` / `IBSIM_TELEMETRY_EVERY`.
+pub fn enabled() -> Option<TimeDelta> {
+    match FORCE_PS.load(Ordering::Relaxed) {
+        0 => {
+            static ENV: OnceLock<Option<u64>> = OnceLock::new();
+            ENV.get_or_init(|| {
+                let on = matches!(
+                    std::env::var("IBSIM_TELEMETRY").as_deref(),
+                    Ok("1") | Ok("true") | Ok("on")
+                );
+                if !on {
+                    return None;
+                }
+                let every_us = std::env::var("IBSIM_TELEMETRY_EVERY")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .unwrap_or(100);
+                Some(TimeDelta::from_us(every_us).as_ps())
+            })
+            .map(TimeDelta)
+        }
+        u64::MAX => None,
+        ps => Some(TimeDelta(ps)),
+    }
+}
+
+fn out_dir_override() -> &'static Mutex<Option<PathBuf>> {
+    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    DIR.get_or_init(|| Mutex::new(None))
+}
+
+/// Direct telemetry artifacts to `dir` (binaries pass their `--out`).
+pub fn set_out_dir(dir: impl Into<PathBuf>) {
+    *out_dir_override().lock().unwrap() = Some(dir.into());
+}
+
+/// Where artifacts land: [`set_out_dir`] value, else
+/// `IBSIM_TELEMETRY_OUT`, else `results`.
+pub fn out_dir() -> PathBuf {
+    if let Some(d) = out_dir_override().lock().unwrap().clone() {
+        return d;
+    }
+    std::env::var("IBSIM_TELEMETRY_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Enable the sampler on `net` when telemetry is on. Call before the
+/// first event is dispatched.
+pub fn arm(net: &mut Network) {
+    if let Some(every) = enabled() {
+        net.enable_telemetry(TelemetryConfig::every(every));
+    }
+}
+
+/// Write one finished run's artifacts — `telemetry_{run}.csv` (the full
+/// sample table), `flight_{run}.json` (the flight-recorder window +
+/// current sample), `figure_{run}.csv` (the paper-figure layout from
+/// [`crate::figures`]) — and return their paths. No-op (`None`) when
+/// the network was not armed.
+pub fn finish(net: &Network, hint: &str, hotspots: &[u32]) -> Option<Vec<PathBuf>> {
+    let tel = net.telemetry()?;
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create telemetry out dir");
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let label = if hint.is_empty() {
+        format!("run{seq:03}")
+    } else {
+        format!("run{seq:03}_{hint}")
+    };
+
+    let csv = dir.join(format!("telemetry_{label}.csv"));
+    std::fs::write(&csv, tel.table().to_csv()).expect("write telemetry csv");
+
+    let flight = dir.join(format!("flight_{label}.json"));
+    let doc = net
+        .flight_dump_json("end of run")
+        .expect("telemetry is armed");
+    std::fs::write(&flight, doc).expect("write flight json");
+
+    let figure = dir.join(format!("figure_{label}.csv"));
+    let series = crate::figures::FigureSeries::from_table(tel.table(), hotspots);
+    std::fs::write(&figure, series.to_csv()).expect("write figure csv");
+
+    Some(vec![csv, flight, figure])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibsim_net::{DestPattern, NetConfig, TrafficClass};
+    use ibsim_topo::single_switch;
+
+    #[test]
+    fn force_wins_arms_networks_and_finish_writes_artifacts() {
+        // One test owns the globals (force + out dir), mirroring the
+        // audit toggle's test discipline.
+        let dir = std::env::temp_dir().join(format!("ibsim_tel_{}", std::process::id()));
+        set_out_dir(&dir);
+        force(Some(TimeDelta::from_us(50)));
+        assert_eq!(enabled(), Some(TimeDelta::from_us(50)));
+
+        let topo = single_switch(8, 4);
+        let mut net = Network::new(&topo, NetConfig::paper());
+        arm(&mut net);
+        assert!(net.telemetry_enabled());
+        for n in 1..4 {
+            net.set_classes(n, vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)]);
+        }
+        net.run_until(ibsim_engine::time::Time::from_us(300));
+
+        let paths = finish(&net, "cc_on", &[0]).expect("armed run writes artifacts");
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            let body = std::fs::read_to_string(p).unwrap();
+            assert!(!body.is_empty(), "{} is empty", p.display());
+        }
+        let csv = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(csv.starts_with("t_us,"), "sample CSV header");
+        assert_eq!(csv.lines().count(), 1 + 7, "300µs / 50µs + 1 samples");
+
+        force(None);
+        assert_eq!(enabled(), None);
+        let mut net = Network::new(&topo, NetConfig::paper());
+        arm(&mut net);
+        assert!(!net.telemetry_enabled());
+        assert!(finish(&net, "off", &[]).is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

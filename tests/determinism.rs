@@ -169,6 +169,45 @@ fn faulted_runs_replay_identically() {
     assert_ne!(run(7), run(8), "the fault seed must matter");
 }
 
+/// Telemetry is purely observational: sampling at a 100 µs cadence
+/// through the same runner reproduces the pinned CSV byte for byte.
+/// The sampler piggybacks on the event loop — no scheduled events, no
+/// RNG draws — so turning it on must not shift a single number. (This
+/// extends the pin `tiny_table2_csv_is_pinned` guards; the whole test
+/// binary runs single-process, so forcing the process-wide toggle here
+/// is safe: this is the only test in the file that touches it.)
+#[test]
+fn telemetry_on_is_byte_identical() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let without = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+
+    let dir = std::env::temp_dir().join(format!("ibsim_det_tel_{}", std::process::id()));
+    ibsim::telemetry::set_out_dir(&dir);
+    ibsim::telemetry::force(Some(TimeDelta::from_us(100)));
+    let with = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+    ibsim::telemetry::force(None);
+
+    assert_eq!(
+        with, without,
+        "telemetry-on run diverged from the telemetry-off pin"
+    );
+    // And the runs did record: artifacts for all 4 cells landed.
+    let n_csv = std::fs::read_dir(&dir)
+        .expect("telemetry out dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with("telemetry_")
+        })
+        .count();
+    // Other tests in this binary may run while the toggle is held and
+    // contribute artifacts of their own, so lower-bound rather than pin.
+    assert!(n_csv >= 4, "one sample CSV per Table II cell, got {n_csv}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The quick preset (QUICK_72, 2 ms + 4 ms) exactly as
 /// `table2 --preset quick` runs it, pinned by FNV-1a hash.
 #[test]
