@@ -21,6 +21,7 @@
 
 use crate::params::{CcMode, CcParams};
 use ibsim_engine::time::{Time, TimeDelta};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Key identifying a throttled flow at an HCA. Dense: the destination
@@ -263,6 +264,63 @@ impl HcaCc {
     pub fn ird_multiplier(&self) -> u32 {
         self.params.cct.multiplier(self.max_ccti())
     }
+
+    /// Complete serialisable image of this agent (checkpointing). The
+    /// parameters are included because mid-run drift faults can leave an
+    /// HCA on a different table than the network-wide configuration.
+    pub fn state(&self) -> HcaCcState {
+        HcaCcState {
+            params: (*self.params).clone(),
+            flows: self
+                .flows
+                .iter()
+                .map(|f| FlowCcState {
+                    ccti: f.ccti,
+                    tracked: f.tracked,
+                    next_allowed: f.next_allowed,
+                })
+                .collect(),
+            throttled: self.throttled as u64,
+            becns_received: self.becns_received,
+            ccti_raises: self.ccti_raises,
+        }
+    }
+
+    /// Overwrite this agent with a previously captured [`HcaCcState`].
+    pub fn restore_state(&mut self, s: &HcaCcState) {
+        self.params = Arc::new(s.params.clone());
+        self.flows = s
+            .flows
+            .iter()
+            .map(|f| FlowCc {
+                ccti: f.ccti,
+                tracked: f.tracked,
+                next_allowed: f.next_allowed,
+            })
+            .collect();
+        self.throttled = s.throttled as usize;
+        self.becns_received = s.becns_received;
+        self.ccti_raises = s.ccti_raises;
+    }
+}
+
+/// Serialisable image of one flow slot of [`HcaCc`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowCcState {
+    pub ccti: u16,
+    pub tracked: bool,
+    pub next_allowed: Time,
+}
+
+/// Complete serialisable image of one HCA's CC agent — everything
+/// [`HcaCc`] mutates after construction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HcaCcState {
+    pub params: CcParams,
+    pub flows: Vec<FlowCcState>,
+    pub throttled: u64,
+    pub becns_received: u64,
+    pub ccti_raises: u64,
 }
 
 #[cfg(test)]

@@ -24,6 +24,6 @@ pub mod params;
 pub mod switch_cc;
 
 pub use cct::{Cct, CctShape};
-pub use hca_cc::{FlowKey, HcaCc};
+pub use hca_cc::{FlowCcState, FlowKey, HcaCc, HcaCcState};
 pub use params::{CcMode, CcParams};
-pub use switch_cc::PortVlCongestion;
+pub use switch_cc::{PortVlCongestion, PortVlCongestionState};

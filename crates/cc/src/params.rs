@@ -24,7 +24,7 @@ pub enum CcMode {
 }
 
 /// The full IB CC parameter set (switch- and CA-side).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 #[serde(default)]
 pub struct CcParams {
     // ---- switch side -------------------------------------------------

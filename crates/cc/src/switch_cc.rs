@@ -12,6 +12,21 @@
 //! threshold crossing regardless of credit availability.
 
 use crate::params::CcParams;
+use serde::{Deserialize, Serialize};
+
+/// Complete serialisable image of one [`PortVlCongestion`] detector
+/// (checkpointing): configuration and runtime state alike, because the
+/// threshold can differ per port (victim masks, disabled detectors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortVlCongestionState {
+    pub queued_bytes: u64,
+    pub threshold_bytes: Option<u64>,
+    pub victim_mask: bool,
+    pub in_congestion: bool,
+    pub skip_before_mark: u16,
+    pub marked_packets: u64,
+    pub congestion_entries: u64,
+}
 
 /// Detection and marking state for one (output port, VL) pair.
 #[derive(Clone, Debug)]
@@ -137,6 +152,30 @@ impl PortVlCongestion {
         self.skip_before_mark = params.marking_rate;
         self.marked_packets += 1;
         true
+    }
+
+    /// Complete serialisable image of this detector (checkpointing).
+    pub fn state(&self) -> PortVlCongestionState {
+        PortVlCongestionState {
+            queued_bytes: self.queued_bytes,
+            threshold_bytes: self.threshold_bytes,
+            victim_mask: self.victim_mask,
+            in_congestion: self.in_congestion,
+            skip_before_mark: self.skip_before_mark,
+            marked_packets: self.marked_packets,
+            congestion_entries: self.congestion_entries,
+        }
+    }
+
+    /// Overwrite this detector with a previously captured state.
+    pub fn restore_state(&mut self, s: &PortVlCongestionState) {
+        self.queued_bytes = s.queued_bytes;
+        self.threshold_bytes = s.threshold_bytes;
+        self.victim_mask = s.victim_mask;
+        self.in_congestion = s.in_congestion;
+        self.skip_before_mark = s.skip_before_mark;
+        self.marked_packets = s.marked_packets;
+        self.congestion_entries = s.congestion_entries;
     }
 }
 

@@ -23,10 +23,10 @@
 //! diff (after writing a JSON artifact if `IBSIM_AUDIT_REPORT` names a
 //! path) so CI can upload exactly what went wrong.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The conservation ledgers the simulator maintains.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum LedgerKind {
     /// Per-(channel, VL) credit conservation: sender credits plus
     /// in-flight blocks plus downstream-buffered blocks plus pending
@@ -83,7 +83,7 @@ impl std::fmt::Display for LedgerKind {
 }
 
 /// One broken invariant, reported as a structured diff.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Violation {
     /// Which ledger failed to balance.
     pub ledger: LedgerKind,
@@ -266,6 +266,20 @@ impl Audit {
 
     pub fn interval(&self) -> u64 {
         self.every
+    }
+
+    /// The schedule position — `(next_at, checks_run)` — for
+    /// checkpointing.
+    pub fn position(&self) -> (u64, u64) {
+        (self.next_at, self.checks_run)
+    }
+
+    /// Reposition the schedule (checkpoint restore): the next periodic
+    /// pass fires at `next_at` processed events, with `checks_run`
+    /// passes already on the books.
+    pub fn set_position(&mut self, next_at: u64, checks_run: u64) {
+        self.next_at = next_at;
+        self.checks_run = checks_run;
     }
 }
 

@@ -22,7 +22,10 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueSnapshot};
 pub use rng::Rng;
-pub use stats::{Histogram, RateMeter, RunLap, RunMeter, Series, TimeWeightedGauge};
+pub use stats::{
+    Histogram, HistogramState, RateMeter, RateMeterState, RunLap, RunMeter, Series,
+    TimeWeightedGauge,
+};
 pub use time::{rate_gbps, Bandwidth, Time, TimeDelta};

@@ -74,6 +74,25 @@ fn entry_before<E>(a: &Entry<E>, b: &Entry<E>) -> bool {
     (a.at, a.seq) < (b.at, b.seq)
 }
 
+/// Everything needed to rebuild an identical queue at a later time or in
+/// another process: clock, counters, and the pending entries *with their
+/// original sequence numbers* (tie order among simultaneous events is
+/// part of the determinism contract and must survive a checkpoint).
+///
+/// The snapshot is geometry-free: both [`CalendarQueue`] and
+/// [`HeapQueue`] produce and accept the same shape, so a checkpoint
+/// taken under one implementation restores under the other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueueSnapshot<E> {
+    pub now: Time,
+    /// Next sequence number to assign.
+    pub seq: u64,
+    pub processed: u64,
+    pub last_pop: Option<(Time, u64)>,
+    /// Pending entries sorted by `(time, seq)`.
+    pub entries: Vec<(Time, u64, E)>,
+}
+
 // ---------------------------------------------------------------------------
 // Calendar queue
 // ---------------------------------------------------------------------------
@@ -548,6 +567,50 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// Capture the queue's complete state (see [`QueueSnapshot`]).
+    pub fn snapshot(&self) -> QueueSnapshot<E>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(Time, u64, E)> = Vec::with_capacity(self.pending());
+        for phys in 0..self.lens.len() {
+            let base = phys << self.stride_shift;
+            for k in 0..self.lens[phys] as usize {
+                let e = self.slots[base + k].as_ref().expect("occupied slot");
+                entries.push((e.at, e.seq, e.event.clone()));
+            }
+        }
+        for e in self.spill.iter() {
+            entries.push((e.at, e.seq, e.event.clone()));
+        }
+        entries.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        QueueSnapshot {
+            now: self.now,
+            seq: self.seq,
+            processed: self.processed,
+            last_pop: self.last_pop,
+            entries,
+        }
+    }
+
+    /// Rebuild a queue from a snapshot. Entry sequence numbers are
+    /// reinstated verbatim, so ties pop in exactly the captured order;
+    /// the wheel geometry is rebuilt fresh (it never affects order).
+    pub fn from_snapshot(snap: QueueSnapshot<E>) -> Self {
+        let mut q = Self::with_capacity(snap.entries.len());
+        q.now = snap.now;
+        q.seq = snap.seq;
+        q.processed = snap.processed;
+        q.last_pop = snap.last_pop;
+        let now_slot = snap.now.0 >> q.width_shift;
+        q.hor_slot = now_slot + q.mask as u64 + 1;
+        q.hint_slot = now_slot;
+        for (at, seq, event) in snap.entries {
+            q.insert(Entry { at, seq, event });
+        }
+        q
+    }
+
     /// Drop all pending events and reset the clock (for reuse in sweeps).
     pub fn reset(&mut self) {
         for s in &mut self.slots {
@@ -686,6 +749,39 @@ impl<E> HeapQueue<E> {
             Some(t) if t <= limit => self.pop(),
             _ => None,
         }
+    }
+
+    /// Capture the queue's complete state (see [`QueueSnapshot`]).
+    pub fn snapshot(&self) -> QueueSnapshot<E>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(Time, u64, E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.at, e.seq, e.event.clone()))
+            .collect();
+        entries.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        QueueSnapshot {
+            now: self.now,
+            seq: self.seq,
+            processed: self.processed,
+            last_pop: self.last_pop,
+            entries,
+        }
+    }
+
+    /// Rebuild a queue from a snapshot (see [`CalendarQueue::from_snapshot`]).
+    pub fn from_snapshot(snap: QueueSnapshot<E>) -> Self {
+        let mut q = Self::with_capacity(snap.entries.len());
+        q.now = snap.now;
+        q.seq = snap.seq;
+        q.processed = snap.processed;
+        q.last_pop = snap.last_pop;
+        for (at, seq, event) in snap.entries {
+            q.heap.push(Entry { at, seq, event });
+        }
+        q
     }
 
     /// Drop all pending events and reset the clock (for reuse in sweeps).
@@ -844,6 +940,58 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(a.pop(), b.pop());
         }
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_pop_stream() {
+        // Interleave schedules and pops, snapshot mid-stream, and check
+        // the restored queue's remaining pop stream is byte-identical —
+        // including tie order and the seq counter for future schedules.
+        let mut q = CalendarQueue::new();
+        let mut rng = crate::rng::Rng::new(99);
+        for i in 0..3_000u64 {
+            let delta = match rng.next_below(10) {
+                0 => 0,
+                1 => 300_000_000,
+                _ => rng.next_below(5_000),
+            };
+            q.schedule(Time(q.now().0 + delta), i);
+            if rng.next_below(10) < 4 {
+                q.pop();
+            }
+        }
+        let snap = q.snapshot();
+        assert_eq!(snap.entries.len(), q.pending());
+        let mut cal = CalendarQueue::from_snapshot(snap.clone());
+        let mut heap = HeapQueue::from_snapshot(snap);
+        assert_eq!(cal.now(), q.now());
+        assert_eq!(cal.processed(), q.processed());
+        assert_eq!(cal.last_pop(), q.last_pop());
+        // New schedules continue the same seq stream on all three.
+        q.schedule_in(TimeDelta(7), u64::MAX);
+        cal.schedule_in(TimeDelta(7), u64::MAX);
+        heap.schedule_in(TimeDelta(7), u64::MAX);
+        loop {
+            let (a, b, c) = (q.pop(), cal.pop(), heap.pop());
+            assert_eq!(a, b, "restored calendar queue diverged");
+            assert_eq!(a, c, "restored heap queue diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_empty_queue_round_trips() {
+        let mut q = EventQueue::<u32>::new();
+        q.schedule(Time(5), 1);
+        q.pop();
+        let snap = q.snapshot();
+        assert!(snap.entries.is_empty());
+        let mut r = EventQueue::from_snapshot(snap);
+        assert!(r.is_empty());
+        assert_eq!(r.now(), Time(5));
+        assert_eq!(r.pop(), None);
     }
 
     #[test]

@@ -55,6 +55,20 @@ impl Rng {
         Rng::new(splitmix64(&mut sm2))
     }
 
+    /// Export the raw xoshiro256** state for checkpointing. Restoring
+    /// via [`Rng::from_state`] continues the stream mid-sequence —
+    /// re-deriving from the seed would rewind it.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state exported by [`Rng::state`].
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -10,6 +10,26 @@
 //!   [`Histogram`] (log-spaced bins).
 
 use crate::time::{rate_gbps, Time, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// Serializable image of a [`RateMeter`] (checkpoint/restore).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RateMeterState {
+    pub window_start: Option<Time>,
+    pub window_end: Option<Time>,
+    pub bytes: u64,
+    pub packets: u64,
+}
+
+/// Serializable image of a [`Histogram`] (checkpoint/restore).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramState {
+    pub bins: Vec<u64>,
+    pub count: u64,
+    pub sum: u128,
+    pub min: u64,
+    pub max: u64,
+}
 
 /// Counts bytes (and packets) delivered inside a measurement window.
 #[derive(Clone, Debug, Default)]
@@ -79,6 +99,26 @@ impl RateMeter {
     /// Average rate over the window in Gbit/s, evaluated at `now`.
     pub fn gbps(&self, now: Time) -> f64 {
         rate_gbps(self.bytes, self.window(now))
+    }
+
+    /// Export the meter's complete state (checkpoint/restore).
+    pub fn state(&self) -> RateMeterState {
+        RateMeterState {
+            window_start: self.window_start,
+            window_end: self.window_end,
+            bytes: self.bytes,
+            packets: self.packets,
+        }
+    }
+
+    /// Rebuild a meter from an exported state.
+    pub fn from_state(s: RateMeterState) -> Self {
+        RateMeter {
+            window_start: s.window_start,
+            window_end: s.window_end,
+            bytes: s.bytes,
+            packets: s.packets,
+        }
     }
 }
 
@@ -237,6 +277,31 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Export the histogram's complete state (checkpoint/restore).
+    pub fn state(&self) -> HistogramState {
+        HistogramState {
+            bins: self.bins.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuild a histogram from an exported state. The bin layout is
+    /// structural (64 log₂ bins); a state with a different bin count is
+    /// from an incompatible build and is rejected by the caller's
+    /// version check before it reaches here.
+    pub fn from_state(s: HistogramState) -> Self {
+        Histogram {
+            bins: s.bins,
+            count: s.count,
+            sum: s.sum,
+            min: s.min,
+            max: s.max,
+        }
+    }
+
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             *a += b;
@@ -310,6 +375,12 @@ impl RunMeter {
             events,
             sim,
         }
+    }
+
+    /// The current lap's starting counters `(events, sim)` — the
+    /// deterministic half of the meter (the wall-clock anchor is not).
+    pub fn baseline(&self) -> (u64, Time) {
+        (self.events, self.sim)
     }
 
     /// Close the current lap and start the next one.

@@ -120,6 +120,7 @@ fn main() {
     let args = Args::parse();
     args.apply_audit();
     args.apply_telemetry();
+    args.apply_checkpoint();
     let preset = args.preset();
     let param = args.get("param").unwrap_or("threshold").to_string();
     let topo = preset.topology();

@@ -29,6 +29,7 @@ fn main() {
     let args = Args::parse();
     args.apply_audit();
     args.apply_telemetry();
+    args.apply_checkpoint();
     let preset = args.preset();
     let spec = args.get("faults").unwrap_or(DEFAULT_SPEC);
     let schedule = FaultSchedule::from_spec(spec, args.seed())

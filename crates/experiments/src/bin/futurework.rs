@@ -24,6 +24,7 @@ fn main() {
     let args = Args::parse();
     args.apply_audit();
     args.apply_telemetry();
+    args.apply_checkpoint();
     let dur = RunDurations::new_ms(2, 4);
 
     let cases = vec![

@@ -55,6 +55,7 @@ fn main() {
     let args = Args::parse();
     args.apply_audit();
     args.apply_telemetry();
+    args.apply_checkpoint();
     let preset = args.preset();
     let topo = preset.topology();
     let cfg = preset.net_config().with_seed(args.seed());

@@ -22,6 +22,7 @@ fn main() {
     let args = Args::parse();
     args.apply_audit();
     args.apply_telemetry();
+    args.apply_checkpoint();
     let preset = args.preset();
     let windy = args.get_flag("b");
     let (roles_desc, roles) = if windy {

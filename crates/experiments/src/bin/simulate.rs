@@ -17,6 +17,7 @@ fn main() {
     let args = Args::parse();
     args.apply_audit();
     args.apply_telemetry();
+    args.apply_checkpoint();
     let Some(path) = args.positionals.first() else {
         eprintln!("usage: simulate <spec.json> [--json]");
         std::process::exit(2);

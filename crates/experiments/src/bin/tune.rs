@@ -26,6 +26,7 @@ fn main() {
     let args = Args::parse();
     args.apply_audit();
     args.apply_telemetry();
+    args.apply_checkpoint();
     let preset = args.preset();
     let topo = preset.topology();
     let dur = preset.durations();

@@ -22,6 +22,7 @@ fn main() {
     let args = Args::parse();
     args.apply_audit();
     args.apply_telemetry();
+    args.apply_checkpoint();
     let preset = args.preset();
     let x = args.get_u32("x", 25);
     assert!(x <= 100, "--x is a percentage");

@@ -111,6 +111,34 @@ impl Args {
         }
     }
 
+    /// Apply the shared checkpoint/resume flags:
+    ///
+    /// * `--checkpoint-at US` — save a full-state checkpoint of every
+    ///   run this process performs when its clock reaches `US` µs;
+    /// * `--checkpoint-dir DIR` — where the files land (default
+    ///   `checkpoints/`, or `IBSIM_CKPT_DIR`);
+    /// * `--resume-from DIR` — fast-forward each run from its matching
+    ///   checkpoint in `DIR`, when one exists.
+    ///
+    /// Without the flags the environment (`IBSIM_CKPT_AT`,
+    /// `IBSIM_RESUME`) still decides, so the CI resume leg covers
+    /// binaries launched without them.
+    pub fn apply_checkpoint(&self) {
+        if let Some(us) = self.get("checkpoint-at") {
+            let us: u64 = us
+                .parse()
+                .unwrap_or_else(|_| panic!("--checkpoint-at wants microseconds, got {us:?}"));
+            assert!(us > 0, "--checkpoint-at must be positive");
+            ibsim::checkpoint::force_at(Some(ibsim_engine::time::Time::from_us(us)));
+        }
+        if let Some(dir) = self.get("checkpoint-dir") {
+            ibsim::checkpoint::set_dir(dir);
+        }
+        if let Some(dir) = self.get("resume-from") {
+            ibsim::checkpoint::force_resume(Some(dir.into()));
+        }
+    }
+
     /// The shared `--telemetry[=EVERY_US]` flag: `None` when absent (or
     /// `--telemetry=false`), the default 100 µs period for the bare
     /// flag, or an explicit sampling period in microseconds.

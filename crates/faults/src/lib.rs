@@ -47,6 +47,7 @@ pub mod spec;
 
 pub use metrics::{RecoveryMetrics, Sample};
 pub use schedule::{
-    AppliedEffect, FaultAction, FaultSchedule, FaultState, FaultStats, TimedFault,
+    AppliedEffect, FaultAction, FaultRuntimeState, FaultSchedule, FaultState, FaultStats,
+    TimedFault,
 };
 pub use spec::{parse_spec, FaultDecl, LinkSel};

@@ -12,7 +12,7 @@
 use crate::spec::{FaultDecl, LinkSel};
 use ibsim_engine::rng::Rng;
 use ibsim_engine::time::{Time, TimeDelta};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// RNG stream tag for BECN-loss coin flips, derived from the scenario
 /// seed. Distinct from every stream id the traffic/topology layers use,
@@ -223,7 +223,7 @@ pub enum AppliedEffect {
 }
 
 /// Counters for the run summary; everything the schedule actually did.
-#[derive(Clone, Copy, Default, Debug, Serialize)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultStats {
     /// CNPs sanctioned-dropped by BECN-loss windows.
     pub becn_dropped: u64,
@@ -239,6 +239,20 @@ pub struct FaultStats {
     pub drifts_applied: u64,
     pub pauses: u64,
     pub resumes: u64,
+}
+
+/// The mutable runtime state of a [`FaultState`], for checkpointing:
+/// per-window CNP counters (flattened in channel-major window order),
+/// the BECN-loss RNG stream, and the accumulated statistics. Everything
+/// else in a `FaultState` is immutable after install and is rebuilt by
+/// reinstalling the same schedule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultRuntimeState {
+    /// `seen` counter of every BECN window, channels in id order.
+    pub becn_seen: Vec<u64>,
+    /// The xoshiro256** state of the BECN-loss stream.
+    pub rng: (u64, u64, u64, u64),
+    pub stats: FaultStats,
 }
 
 /// Runtime fault state the network consults while dispatching. Built by
@@ -399,6 +413,48 @@ impl FaultState {
             self.stats.credits_stalled += 1;
         }
         t
+    }
+
+    /// The mutable runtime state of this fault machine (checkpointing).
+    /// The schedule itself and the resolved windows are *not* included:
+    /// they are immutable after install, so a restore reinstalls the
+    /// same schedule and overlays this on top.
+    pub fn runtime_state(&self) -> FaultRuntimeState {
+        FaultRuntimeState {
+            becn_seen: self
+                .becn
+                .iter()
+                .flat_map(|ws| ws.iter().map(|w| w.seen))
+                .collect(),
+            rng: {
+                let s = self.rng.state();
+                (s[0], s[1], s[2], s[3])
+            },
+            stats: self.stats,
+        }
+    }
+
+    /// Overlay a previously captured [`FaultRuntimeState`] onto this
+    /// (freshly installed, identical) fault machine. Fails when the
+    /// BECN-window count differs — that means the schedule or the
+    /// fabric it was resolved against is not the one checkpointed.
+    pub fn restore_runtime_state(&mut self, s: &FaultRuntimeState) -> Result<(), String> {
+        let n_windows: usize = self.becn.iter().map(|ws| ws.len()).sum();
+        if n_windows != s.becn_seen.len() {
+            return Err(format!(
+                "fault schedule has {n_windows} BECN windows but the checkpoint recorded {}",
+                s.becn_seen.len()
+            ));
+        }
+        let mut it = s.becn_seen.iter();
+        for ws in &mut self.becn {
+            for w in ws {
+                w.seen = *it.next().expect("count checked above");
+            }
+        }
+        self.rng = Rng::from_state([s.rng.0, s.rng.1, s.rng.2, s.rng.3]);
+        self.stats = s.stats;
+        Ok(())
     }
 
     /// Should a CNP arriving on channel `ch` at `now` be (sanctioned-)

@@ -25,6 +25,7 @@ use crate::network::{Dev, Network};
 use crate::types::Vl;
 use ibsim_check::{Audit, AuditReport, LedgerKind, Violation};
 use ibsim_engine::time::Time;
+use serde::{Deserialize, Serialize};
 
 /// The per-network audit state. Lives behind an `Option<Box<..>>` on
 /// [`Network`], so the disabled path costs one branch per event.
@@ -387,6 +388,69 @@ impl NetAudit {
         self.last_seen_pop = pop;
         self.seen_processed = processed;
     }
+
+    /// Export the audit's runtime state (checkpoint): the inline
+    /// ledgers, the pass cadence position and any deferred violations.
+    /// Table geometry (channel count, VL count) is configuration.
+    pub(crate) fn state(&self) -> NetAuditState {
+        let (next_at, checks_run) = self.cadence.position();
+        NetAuditState {
+            next_at,
+            checks_run,
+            on_wire_blocks: self.on_wire_blocks.clone(),
+            on_wire_packets: self.on_wire_packets.clone(),
+            pending_credit_blocks: self.pending_credit_blocks.clone(),
+            sanctioned_dropped_packets: self.sanctioned_dropped_packets.clone(),
+            sanctioned_dropped_blocks: self.sanctioned_dropped_blocks.clone(),
+            last_seen_pop: self.last_seen_pop,
+            seen_processed: self.seen_processed,
+            deferred: self.deferred.clone(),
+        }
+    }
+
+    /// Overlay a checkpointed audit state onto a freshly constructed
+    /// instance sized for the same fabric.
+    pub(crate) fn restore_state(&mut self, s: &NetAuditState) -> Result<(), String> {
+        if s.on_wire_blocks.len() != self.on_wire_blocks.len()
+            || s.on_wire_packets.len() != self.on_wire_packets.len()
+            || s.pending_credit_blocks.len() != self.pending_credit_blocks.len()
+            || s.sanctioned_dropped_packets.len() != self.sanctioned_dropped_packets.len()
+            || s.sanctioned_dropped_blocks.len() != self.sanctioned_dropped_blocks.len()
+        {
+            return Err(format!(
+                "audit state ledgers sized for {} channel-VL slots, fabric has {}",
+                s.on_wire_blocks.len(),
+                self.on_wire_blocks.len()
+            ));
+        }
+        self.cadence.set_position(s.next_at, s.checks_run);
+        self.on_wire_blocks = s.on_wire_blocks.clone();
+        self.on_wire_packets = s.on_wire_packets.clone();
+        self.pending_credit_blocks = s.pending_credit_blocks.clone();
+        self.sanctioned_dropped_packets = s.sanctioned_dropped_packets.clone();
+        self.sanctioned_dropped_blocks = s.sanctioned_dropped_blocks.clone();
+        self.last_seen_pop = s.last_seen_pop;
+        self.seen_processed = s.seen_processed;
+        self.deferred = s.deferred.clone();
+        Ok(())
+    }
+}
+
+/// Serializable image of [`NetAudit`]'s runtime state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetAuditState {
+    /// Event count at which the next periodic pass fires.
+    pub next_at: u64,
+    /// Passes completed so far.
+    pub checks_run: u64,
+    pub on_wire_blocks: Vec<i64>,
+    pub on_wire_packets: Vec<i64>,
+    pub pending_credit_blocks: Vec<i64>,
+    pub sanctioned_dropped_packets: Vec<u64>,
+    pub sanctioned_dropped_blocks: Vec<u64>,
+    pub last_seen_pop: Option<(Time, u64)>,
+    pub seen_processed: u64,
+    pub deferred: Vec<Violation>,
 }
 
 #[cfg(test)]

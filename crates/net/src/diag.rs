@@ -6,11 +6,12 @@
 //! without a debugger — the moral equivalent of the counters a fabric
 //! manager reads from real switches.
 
-use crate::network::Network;
+use crate::network::{Event, Network};
+use crate::vlarb::VlArbState;
 use serde::Serialize;
 
 /// Aggregate state of one switch at a point in time.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct SwitchSnapshot {
     pub switch: usize,
     /// Packets queued across all input VoQs.
@@ -28,10 +29,17 @@ pub struct SwitchSnapshot {
     /// so a snapshot localises *which* link is credit-starved, exactly
     /// as per-port `PortXmitWait` does on real switches.
     pub stalled_rounds_per_port: Vec<u64>,
+    /// Per-port VL-arbiter round-robin cursors (index = port number).
+    /// Two fabrics can hold identical queues yet arbitrate differently
+    /// next round if these differ — a completeness gap earlier
+    /// snapshots had.
+    pub vlarb_cursors: Vec<VlArbState>,
+    /// Sender-side credits still available per port (summed over VLs).
+    pub credits_per_port: Vec<u64>,
 }
 
 /// Aggregate state of one HCA at a point in time.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct HcaSnapshot {
     pub node: u32,
     /// Deepest CCTI across this HCA's flows.
@@ -43,14 +51,28 @@ pub struct HcaSnapshot {
     /// Congestion notifications waiting to be returned.
     pub pending_cnps: usize,
     pub becns_received: u64,
+    /// Is the sink mid-drain right now?
+    pub draining: bool,
+    /// Earliest pending injector wakeup, picoseconds (`None` when the
+    /// injector is parked waiting on an external event).
+    pub wakeup_at_ps: Option<u64>,
 }
 
 /// A whole-network snapshot.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct NetworkSnapshot {
     pub at_ps: u64,
     pub switches: Vec<SwitchSnapshot>,
     pub hcas: Vec<HcaSnapshot>,
+    /// Events pending on the calendar queue.
+    pub pending_events: usize,
+    /// Credit-return blocks currently in flight (scheduled `SwCredit` /
+    /// `HcaCredit` events not yet delivered). Invisible to every
+    /// device-level counter, yet part of the credit ledger — the other
+    /// completeness gap earlier snapshots had.
+    pub in_flight_credit_blocks: u64,
+    /// Credit-return *events* in flight (the count behind the blocks).
+    pub in_flight_credit_events: usize,
 }
 
 impl NetworkSnapshot {
@@ -68,12 +90,16 @@ impl NetworkSnapshot {
                 let mut forwarded = 0;
                 let mut stalled = 0;
                 let mut per_port = Vec::with_capacity(sw.ports.len());
+                let mut cursors = Vec::with_capacity(sw.ports.len());
+                let mut credits = Vec::with_capacity(sw.ports.len());
                 for p in &sw.ports {
                     queued += p.queued_packets();
                     congested += usize::from(p.cong.iter().any(|c| c.in_congestion()));
                     forwarded += p.forwarded_packets;
                     stalled += p.xmit_wait;
                     per_port.push(p.xmit_wait);
+                    cursors.push(p.vlarb_cursor());
+                    credits.push(p.credits.iter().map(|&c| c as u64).sum());
                 }
                 SwitchSnapshot {
                     switch: i,
@@ -83,6 +109,8 @@ impl NetworkSnapshot {
                     forwarded_packets: forwarded,
                     stalled_rounds: stalled,
                     stalled_rounds_per_port: per_port,
+                    vlarb_cursors: cursors,
+                    credits_per_port: credits,
                 }
             })
             .collect();
@@ -96,12 +124,33 @@ impl NetworkSnapshot {
                 sink_depth: h.sink_depth(),
                 pending_cnps: h.pending_cnps(),
                 becns_received: h.cc.becns_received(),
+                draining: h.sink_draining(),
+                wakeup_at_ps: (h.wakeup_at != ibsim_engine::time::Time::MAX)
+                    .then(|| h.wakeup_at.as_ps()),
             })
             .collect();
+        // One pass over the pending events picks up what no device
+        // counter can see: credit returns already scheduled but not yet
+        // applied anywhere.
+        let mut credit_blocks = 0u64;
+        let mut credit_events = 0usize;
+        let snap = net.queue.snapshot();
+        for (_, _, ev) in &snap.entries {
+            match ev {
+                Event::SwCredit { blocks, .. } | Event::HcaCredit { blocks, .. } => {
+                    credit_blocks += *blocks as u64;
+                    credit_events += 1;
+                }
+                _ => {}
+            }
+        }
         NetworkSnapshot {
             at_ps: net.now().as_ps(),
             switches,
             hcas,
+            pending_events: snap.entries.len(),
+            in_flight_credit_blocks: credit_blocks,
+            in_flight_credit_events: credit_events,
         }
     }
 
@@ -231,5 +280,54 @@ mod tests {
         let js = serde_json::to_string(&snap).unwrap();
         assert!(js.contains("queued_packets"));
         assert!(js.contains("stalled_rounds_per_port"));
+        assert!(js.contains("vlarb_cursors"));
+        assert!(js.contains("in_flight_credit_blocks"));
+    }
+
+    #[test]
+    fn snapshot_captures_vlarb_cursors_and_credits() {
+        let net = congested_net(false);
+        let snap = NetworkSnapshot::capture(&net);
+        let sw = &snap.switches[0];
+        assert_eq!(sw.vlarb_cursors.len(), 8, "one cursor set per port");
+        assert_eq!(sw.credits_per_port.len(), 8);
+        // A port that forwarded traffic advanced its arbiter at least
+        // once over the run; the cursor state must reflect that rather
+        // than reading all-zero on every port.
+        assert!(
+            sw.vlarb_cursors
+                .iter()
+                .any(|c| c.high_since_low > 0 || c.low_left > 0 || c.high_left > 0),
+            "arbiter cursors all at reset despite forwarded traffic: {:?}",
+            sw.vlarb_cursors
+        );
+    }
+
+    #[test]
+    fn snapshot_sees_in_flight_credit_returns() {
+        // A saturated hotspot always has credit returns mid-flight:
+        // sinks drain continuously, so at any instant some SwCredit /
+        // HcaCredit events are scheduled but undelivered.
+        let net = congested_net(false);
+        let snap = NetworkSnapshot::capture(&net);
+        assert!(snap.pending_events > 0);
+        assert!(
+            snap.in_flight_credit_events > 0,
+            "no credit returns in flight under a saturated hotspot"
+        );
+        assert!(snap.in_flight_credit_blocks >= snap.in_flight_credit_events as u64);
+    }
+
+    #[test]
+    fn snapshot_reports_sink_and_injector_occupancy() {
+        let net = congested_net(false);
+        let snap = NetworkSnapshot::capture(&net);
+        // The hotspot's sink is saturated: mid-drain at any instant.
+        let victim = &snap.hcas[0];
+        assert!(victim.draining, "hotspot sink should be mid-drain");
+        // The victim generates nothing, so its injector was never armed.
+        assert!(victim.wakeup_at_ps.is_none(), "victim has no wakeup");
+        // The senders' sinks are idle (nothing flows toward them).
+        assert!(!snap.hcas[1].draining, "sender's sink is empty");
     }
 }

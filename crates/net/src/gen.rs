@@ -12,9 +12,10 @@
 use crate::types::NodeId;
 use ibsim_engine::rng::Rng;
 use ibsim_engine::time::{Bandwidth, Time, PS_PER_S};
+use serde::{Deserialize, Serialize};
 
 /// How a class picks the destination of its next message.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DestPattern {
     /// Always the same destination (hotspot traffic; retargetable for
     /// moving-hotspot scenarios).
@@ -214,6 +215,48 @@ impl TrafficClass {
         self.budget_from = now;
         self.sent_bytes = 0;
     }
+
+    /// Export the class's mutable state (checkpoint). The destination
+    /// pattern travels too: `Fixed` targets retarget under moving
+    /// hotspots and `Sequence` rotates as it serves.
+    pub fn state(&self) -> ClassState {
+        ClassState {
+            dest: self.dest.clone(),
+            sent_bytes: self.sent_bytes,
+            messages_started: self.messages_started,
+            committed: self.committed.map(|c| (c.dst, c.bytes_left)),
+            budget_from: self.budget_from,
+            rng: {
+                let s = self.rng.state();
+                (s[0], s[1], s[2], s[3])
+            },
+        }
+    }
+
+    /// Overwrite the class's mutable state (checkpoint restore). The
+    /// configuration fields (percent, message size, VL/SL, caps) come
+    /// from the scenario that rebuilt this class.
+    pub fn restore_state(&mut self, s: &ClassState) {
+        self.dest = s.dest.clone();
+        self.sent_bytes = s.sent_bytes;
+        self.messages_started = s.messages_started;
+        self.committed = s.committed.map(|(dst, bytes_left)| Committed { dst, bytes_left });
+        self.budget_from = s.budget_from;
+        self.rng = Rng::from_state([s.rng.0, s.rng.1, s.rng.2, s.rng.3]);
+    }
+}
+
+/// Serializable image of a [`TrafficClass`]'s mutable state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassState {
+    pub dest: DestPattern,
+    pub sent_bytes: u64,
+    pub messages_started: u64,
+    /// `(dst, bytes_left)` of a half-sent message.
+    pub committed: Option<(NodeId, u32)>,
+    pub budget_from: Time,
+    /// The class's private xoshiro256** stream, mid-sequence.
+    pub rng: (u64, u64, u64, u64),
 }
 
 /// Convenience: the paper's standard 4096-byte message (2 MTU packets).

@@ -2,10 +2,12 @@
 //! sinking (`sink`), injection-rate shaping, CNP generation and the CA
 //! side of congestion control (`ccmgr`).
 
-use crate::gen::TrafficClass;
+use crate::gen::{ClassState, TrafficClass};
 use crate::types::{NodeId, Packet, PacketKind, Vl, CNP_BYTES};
-use ibsim_cc::HcaCc;
+use ibsim_cc::{HcaCc, HcaCcState};
 use ibsim_engine::time::{Time, TimeDelta};
+use ibsim_engine::{HistogramState, RateMeterState};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// What the HCA's injector wants to do next.
@@ -21,7 +23,7 @@ pub enum NextSend {
 }
 
 /// A pending congestion notification to return to a source.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct PendingCnp {
     pub dst: NodeId,
     pub vl: Vl,
@@ -343,6 +345,11 @@ impl Hca {
         self.sink_queue.len() + usize::from(self.draining.is_some())
     }
 
+    /// Is the sink mid-drain right now?
+    pub fn sink_draining(&self) -> bool {
+        self.draining.is_some()
+    }
+
     /// Blocks of sink-side buffer still held on `vl`: everything queued
     /// or draining whose credits have not yet been returned upstream.
     /// One term of the per-(channel, VL) credit ledger.
@@ -354,6 +361,115 @@ impl Hca {
             .map(|p| p.blocks() as u64)
             .sum()
     }
+
+    /// Export the HCA's complete mutable state (checkpoint). Channel
+    /// wiring and class configuration (rates, destinations, VL/SL) are
+    /// rebuilt from the scenario; everything that evolves at runtime is
+    /// here.
+    pub fn state(&self) -> HcaState {
+        HcaState {
+            busy_until: self.busy_until,
+            next_inject_at: self.next_inject_at,
+            wakeup_at: self.wakeup_at,
+            credits: self.credits.clone(),
+            cnp_queue: self.cnp_queue.iter().copied().collect(),
+            classes: self.classes.iter().map(|c| c.state()).collect(),
+            rr_class: self.rr_class as u32,
+            cc: self.cc.state(),
+            seqs: self.seqs.clone(),
+            draining: self.draining.clone(),
+            sink_queue: self.sink_queue.iter().cloned().collect(),
+            sink_paused: self.sink_paused,
+            last_seq: self.last_seq.clone(),
+            rx_by_src: self.rx_by_src.clone(),
+            rx_meter: self.rx_meter.state(),
+            tx_meter: self.tx_meter.state(),
+            latency: self.latency.state(),
+            injected_packets: self.injected_packets,
+            delivered_packets: self.delivered_packets,
+            cnps_sent: self.cnps_sent,
+            cnps_delivered: self.cnps_delivered,
+            rx_bytes_total: self.rx_bytes_total,
+            tx_bytes_total: self.tx_bytes_total,
+        }
+    }
+
+    /// Overwrite the HCA's mutable state (checkpoint restore). The
+    /// traffic classes must already be installed by the scenario; their
+    /// runtime cursors are overlaid onto the configured classes.
+    pub fn restore_state(&mut self, s: &HcaState) -> Result<(), String> {
+        if s.classes.len() != self.classes.len() {
+            return Err(format!(
+                "hca {}: state has {} traffic classes, scenario installed {}",
+                self.id,
+                s.classes.len(),
+                self.classes.len()
+            ));
+        }
+        if s.credits.len() != self.credits.len()
+            || s.seqs.len() != self.seqs.len()
+            || s.last_seq.len() != self.last_seq.len()
+            || s.rx_by_src.len() != self.rx_by_src.len()
+        {
+            return Err(format!("hca {}: per-VL or per-peer table width mismatch", self.id));
+        }
+        self.busy_until = s.busy_until;
+        self.next_inject_at = s.next_inject_at;
+        self.wakeup_at = s.wakeup_at;
+        self.credits = s.credits.clone();
+        self.cnp_queue = s.cnp_queue.iter().copied().collect();
+        for (c, cs) in self.classes.iter_mut().zip(&s.classes) {
+            c.restore_state(cs);
+        }
+        self.rr_class = s.rr_class as usize;
+        self.cc.restore_state(&s.cc);
+        self.seqs = s.seqs.clone();
+        self.draining = s.draining.clone();
+        self.sink_queue = s.sink_queue.iter().cloned().collect();
+        self.sink_paused = s.sink_paused;
+        self.last_seq = s.last_seq.clone();
+        self.rx_by_src = s.rx_by_src.clone();
+        self.rx_meter = ibsim_engine::RateMeter::from_state(s.rx_meter.clone());
+        self.tx_meter = ibsim_engine::RateMeter::from_state(s.tx_meter.clone());
+        self.latency = ibsim_engine::Histogram::from_state(s.latency.clone());
+        self.injected_packets = s.injected_packets;
+        self.delivered_packets = s.delivered_packets;
+        self.cnps_sent = s.cnps_sent;
+        self.cnps_delivered = s.cnps_delivered;
+        self.rx_bytes_total = s.rx_bytes_total;
+        self.tx_bytes_total = s.tx_bytes_total;
+        Ok(())
+    }
+}
+
+/// Serializable image of an [`Hca`]'s mutable state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HcaState {
+    pub busy_until: Time,
+    pub next_inject_at: Time,
+    pub wakeup_at: Time,
+    pub credits: Vec<u32>,
+    /// Pending congestion notifications, front-to-back.
+    pub cnp_queue: Vec<PendingCnp>,
+    /// Runtime cursors of each installed traffic class, in order.
+    pub classes: Vec<ClassState>,
+    pub rr_class: u32,
+    pub cc: HcaCcState,
+    pub seqs: Vec<u32>,
+    pub draining: Option<Packet>,
+    pub sink_queue: Vec<Packet>,
+    pub sink_paused: bool,
+    pub last_seq: Vec<u32>,
+    pub rx_by_src: Vec<u64>,
+    pub rx_meter: RateMeterState,
+    pub tx_meter: RateMeterState,
+    pub latency: HistogramState,
+    pub injected_packets: u64,
+    pub delivered_packets: u64,
+    pub cnps_sent: u64,
+    pub cnps_delivered: u64,
+    pub rx_bytes_total: u64,
+    pub tx_bytes_total: u64,
 }
 
 #[cfg(test)]

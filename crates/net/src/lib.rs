@@ -25,21 +25,27 @@ pub mod diag;
 pub mod gen;
 pub mod hca;
 pub mod network;
+pub mod state;
 pub mod switch;
 pub mod telemetry;
 pub mod trace;
 pub mod types;
 pub mod vlarb;
 
-pub use audit::NetAudit;
-pub use ibsim_faults::{parse_spec, FaultDecl, FaultSchedule, FaultStats, LinkSel};
+pub use audit::{NetAudit, NetAuditState};
+pub use ibsim_faults::{
+    parse_spec, FaultDecl, FaultRuntimeState, FaultSchedule, FaultStats, LinkSel,
+};
 pub use config::NetConfig;
 pub use diag::NetworkSnapshot;
-pub use gen::{DestPattern, TrafficClass, PAPER_MSG_BYTES};
-pub use hca::Hca;
+pub use gen::{ClassState, DestPattern, TrafficClass, PAPER_MSG_BYTES};
+pub use hca::{Hca, HcaState};
 pub use network::{Dev, Event, Network};
-pub use switch::Switch;
-pub use telemetry::{FlightDump, FlightEvent, FlightKind, NetTelemetry, TelemetryConfig};
+pub use state::NetworkState;
+pub use switch::{SwPortState, Switch, SwitchState};
+pub use telemetry::{
+    FlightDump, FlightEvent, FlightKind, NetTelemetry, NetTelemetryState, TelemetryConfig,
+};
 pub use trace::{TracePoint, TraceRecord, Tracer};
 pub use types::{blocks_for, NodeId, Packet, PacketKind, Vl, BLOCK_BYTES, CNP_BYTES};
-pub use vlarb::{VlArbTable, VlArbiter, VlWeight};
+pub use vlarb::{VlArbState, VlArbTable, VlArbiter, VlWeight};

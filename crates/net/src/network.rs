@@ -14,6 +14,7 @@ use ibsim_faults::{AppliedEffect, FaultSchedule, FaultState, FaultStats, LinkSel
 use ibsim_engine::rng::Rng;
 use ibsim_engine::time::{Time, TimeDelta};
 use ibsim_topo::{Endpoint, Topology};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A device reference: switches and HCAs live in separate arenas.
@@ -34,7 +35,7 @@ pub struct Channel {
 }
 
 /// Simulation events.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Event {
     /// Packet head reaches the receiving end of `ch` (switch ingress).
     SwArrive { ch: u32, pkt: Packet },
@@ -69,23 +70,23 @@ pub enum Event {
 /// The fully-wired simulator for one network.
 pub struct Network {
     pub cfg: NetConfig,
-    queue: EventQueue<Event>,
+    pub(crate) queue: EventQueue<Event>,
     pub switches: Vec<Switch>,
     pub hcas: Vec<Hca>,
     pub channels: Vec<Channel>,
     cc_params: Option<Arc<ibsim_cc::CcParams>>,
     tracer: Option<Tracer>,
     /// The invariant oracle; `None` costs one branch per event.
-    audit: Option<Box<NetAudit>>,
+    pub(crate) audit: Option<Box<NetAudit>>,
     /// The fault-injection state machine; `None` (the default, and any
     /// empty schedule) costs one branch on the affected paths.
-    faults: Option<Box<FaultState>>,
+    pub(crate) faults: Option<Box<FaultState>>,
     /// The telemetry sampler + flight recorder; `None` costs one branch
     /// per popped event.
-    telemetry: Option<Box<NetTelemetry>>,
-    primed: bool,
-    measuring_since: Option<Time>,
-    measured_until: Option<Time>,
+    pub(crate) telemetry: Option<Box<NetTelemetry>>,
+    pub(crate) primed: bool,
+    pub(crate) measuring_since: Option<Time>,
+    pub(crate) measured_until: Option<Time>,
 }
 
 impl Network {
@@ -667,6 +668,13 @@ impl Network {
     /// The open (or closed) measurement window, if any.
     pub fn measurement_window(&self) -> Option<(Time, Option<Time>)> {
         self.measuring_since.map(|s| (s, self.measured_until))
+    }
+
+    /// True while a measurement window is open and not yet closed.
+    /// A resumed run uses this to skip re-opening a window the
+    /// checkpointed segment already opened.
+    pub fn is_measuring(&self) -> bool {
+        self.measuring_since.is_some() && self.measured_until.is_none()
     }
 
     /// Average receive rate of `node` over the measurement window, Gbit/s.

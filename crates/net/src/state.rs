@@ -1,0 +1,166 @@
+//! Whole-network checkpoint: one serializable value capturing every
+//! bit of mutable simulator state, such that
+//!
+//! ```text
+//! run_until(t); let s = net.checkpoint();
+//! // ... later, on a freshly built network with the same topology,
+//! // config, classes, faults, audit and telemetry ...
+//! net2.restore(&s)?;  net2.run_until(h)
+//! ```
+//!
+//! produces byte-identical results to running the original network
+//! straight to `h`. The split between *configuration* (rebuilt from
+//! the topology, `NetConfig` and the scenario: wiring, LFTs,
+//! arbitration tables, class rates, fault schedules, metric layouts)
+//! and *runtime state* (everything here) is deliberate: the checkpoint
+//! stays small and self-describing, and a restore against the wrong
+//! configuration fails loudly instead of silently diverging.
+//!
+//! The event queue is captured with its original `(time, seq)` keys —
+//! tie order among simultaneous events is part of the determinism
+//! contract and must survive the round trip.
+
+use crate::audit::NetAuditState;
+use crate::hca::HcaState;
+use crate::network::{Event, Network};
+use crate::switch::SwitchState;
+use crate::telemetry::NetTelemetryState;
+use ibsim_engine::queue::EventQueue;
+use ibsim_engine::time::Time;
+use ibsim_engine::QueueSnapshot;
+use ibsim_faults::FaultRuntimeState;
+use serde::{Deserialize, Serialize};
+
+/// Complete mutable state of a [`Network`] at one instant.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkState {
+    /// Simulated clock at the checkpoint.
+    pub now: Time,
+    /// Next event sequence number the queue will assign.
+    pub queue_seq: u64,
+    pub events_processed: u64,
+    /// `(time, seq)` key of the most recent pop (event-order audit).
+    pub last_pop: Option<(Time, u64)>,
+    /// Pending events with their original keys, sorted by `(time, seq)`.
+    pub events: Vec<(Time, u64, Event)>,
+    pub switches: Vec<SwitchState>,
+    pub hcas: Vec<HcaState>,
+    pub primed: bool,
+    pub measuring_since: Option<Time>,
+    pub measured_until: Option<Time>,
+    /// Fault-layer runtime overlay; present iff a schedule was installed.
+    pub faults: Option<FaultRuntimeState>,
+    /// Invariant-oracle ledgers; present iff the audit was enabled.
+    pub audit: Option<NetAuditState>,
+    /// Telemetry sampler position and series; present iff enabled.
+    pub telemetry: Option<NetTelemetryState>,
+}
+
+impl Network {
+    /// Capture the complete mutable state of this network.
+    pub fn checkpoint(&self) -> NetworkState {
+        let snap = self.queue.snapshot();
+        NetworkState {
+            now: snap.now,
+            queue_seq: snap.seq,
+            events_processed: snap.processed,
+            last_pop: snap.last_pop,
+            events: snap.entries,
+            switches: self.switches.iter().map(|s| s.state()).collect(),
+            hcas: self.hcas.iter().map(|h| h.state()).collect(),
+            primed: self.primed,
+            measuring_since: self.measuring_since,
+            measured_until: self.measured_until,
+            faults: self.faults.as_deref().map(|f| f.runtime_state()),
+            audit: self.audit.as_deref().map(|a| a.state()),
+            telemetry: self.telemetry.as_deref().map(|t| t.state()),
+        }
+    }
+
+    /// Overwrite this network's mutable state with a checkpoint.
+    ///
+    /// The receiver must be *configured* identically to the network the
+    /// checkpoint was taken from — same topology and `NetConfig`, same
+    /// installed traffic classes, same fault schedule, audit cadence
+    /// and telemetry config — but not yet run (or run arbitrarily; all
+    /// runtime state is overwritten). Mismatched geometry returns a
+    /// structured error naming the first divergence; no panic, though a
+    /// failed restore may leave the receiver partially overwritten.
+    pub fn restore(&mut self, s: &NetworkState) -> Result<(), String> {
+        if s.switches.len() != self.switches.len() {
+            return Err(format!(
+                "checkpoint has {} switches, fabric has {}",
+                s.switches.len(),
+                self.switches.len()
+            ));
+        }
+        if s.hcas.len() != self.hcas.len() {
+            return Err(format!(
+                "checkpoint has {} HCAs, fabric has {}",
+                s.hcas.len(),
+                self.hcas.len()
+            ));
+        }
+        match (&s.faults, self.faults.is_some()) {
+            (Some(_), false) => {
+                return Err(
+                    "checkpoint carries fault runtime state but no schedule is installed".into(),
+                )
+            }
+            (None, true) => {
+                return Err(
+                    "a fault schedule is installed but the checkpoint carries no fault state"
+                        .into(),
+                )
+            }
+            _ => {}
+        }
+        match (&s.audit, self.audit.is_some()) {
+            (Some(_), false) => {
+                return Err("checkpoint carries audit ledgers but the audit is not enabled".into())
+            }
+            (None, true) => {
+                return Err("the audit is enabled but the checkpoint carries no ledgers".into())
+            }
+            _ => {}
+        }
+        match (&s.telemetry, self.telemetry.is_some()) {
+            (Some(_), false) => {
+                return Err(
+                    "checkpoint carries telemetry state but telemetry is not enabled".into(),
+                )
+            }
+            (None, true) => {
+                return Err("telemetry is enabled but the checkpoint carries no state".into())
+            }
+            _ => {}
+        }
+
+        for (sw, ss) in self.switches.iter_mut().zip(&s.switches) {
+            sw.restore_state(ss)?;
+        }
+        for (h, hs) in self.hcas.iter_mut().zip(&s.hcas) {
+            h.restore_state(hs)?;
+        }
+        if let (Some(f), Some(fs)) = (self.faults.as_deref_mut(), &s.faults) {
+            f.restore_runtime_state(fs)?;
+        }
+        if let (Some(a), Some(as_)) = (self.audit.as_deref_mut(), &s.audit) {
+            a.restore_state(as_)?;
+        }
+        if let (Some(t), Some(ts)) = (self.telemetry.as_deref_mut(), &s.telemetry) {
+            t.restore_state(ts)?;
+        }
+        self.queue = EventQueue::from_snapshot(QueueSnapshot {
+            now: s.now,
+            seq: s.queue_seq,
+            processed: s.events_processed,
+            last_pop: s.last_pop,
+            entries: s.events.clone(),
+        });
+        self.primed = s.primed;
+        self.measuring_since = s.measuring_since;
+        self.measured_until = s.measured_until;
+        Ok(())
+    }
+}

@@ -7,14 +7,15 @@
 //! (`ibuf`, `obuf`, `vlarb`, `ccmgr`) of the paper's OMNeT++ model.
 
 use crate::types::{Packet, Vl};
-use crate::vlarb::{VlArbTable, VlArbiter};
-use ibsim_cc::{CcParams, PortVlCongestion};
+use crate::vlarb::{VlArbState, VlArbTable, VlArbiter};
+use ibsim_cc::{CcParams, PortVlCongestion, PortVlCongestionState};
 use ibsim_engine::time::{Time, TimeDelta};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A queued packet descriptor: eligible for arbitration at `ready_at`
 /// (head arrival + routing latency; cut-through, not store-and-forward).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct Desc {
     pub pkt: Packet,
     pub ready_at: Time,
@@ -59,6 +60,12 @@ impl SwPort {
     /// [`Switch::queued_toward`] across outputs — in one pass.
     pub fn queued_packets(&self) -> usize {
         self.voq.iter().map(|q| q.len()).sum()
+    }
+
+    /// The VL arbiter's round-robin cursors — the scheduling state that
+    /// decides who transmits next even when the queues look identical.
+    pub fn vlarb_cursor(&self) -> VlArbState {
+        self.varb.state()
     }
 }
 
@@ -297,6 +304,94 @@ impl Switch {
             .map(|c| c.marked_packets())
             .sum()
     }
+
+    /// Export the switch's complete mutable state (checkpoint). The
+    /// wiring (channels, LFT, arbitration tables, detector thresholds)
+    /// is configuration, rebuilt from the topology and `NetConfig`.
+    pub fn state(&self) -> SwitchState {
+        SwitchState {
+            ports: self
+                .ports
+                .iter()
+                .map(|p| SwPortState {
+                    voq: p.voq.iter().map(|q| q.iter().cloned().collect()).collect(),
+                    busy_until: p.busy_until,
+                    credits: p.credits.clone(),
+                    varb: p.varb.state(),
+                    rr_in: p.rr_in.iter().map(|&i| i as u32).collect(),
+                    cong: p.cong.iter().map(|c| c.state()).collect(),
+                    forwarded_packets: p.forwarded_packets,
+                    forwarded_bytes: p.forwarded_bytes,
+                    xmit_wait: p.xmit_wait,
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrite the switch's mutable state (checkpoint restore).
+    /// Validates every per-port table width against this switch's
+    /// geometry before touching anything.
+    pub fn restore_state(&mut self, s: &SwitchState) -> Result<(), String> {
+        if s.ports.len() != self.ports.len() {
+            return Err(format!(
+                "switch state has {} ports, fabric has {}",
+                s.ports.len(),
+                self.ports.len()
+            ));
+        }
+        let nv = self.n_vls as usize;
+        for (i, (port, ps)) in self.ports.iter().zip(&s.ports).enumerate() {
+            if ps.voq.len() != port.voq.len() {
+                return Err(format!(
+                    "port {i}: state has {} VoQs, fabric has {}",
+                    ps.voq.len(),
+                    port.voq.len()
+                ));
+            }
+            if ps.credits.len() != nv || ps.cong.len() != port.cong.len() || ps.rr_in.len() != nv {
+                return Err(format!("port {i}: per-VL table width mismatch"));
+            }
+        }
+        for (port, ps) in self.ports.iter_mut().zip(&s.ports) {
+            for (q, qs) in port.voq.iter_mut().zip(&ps.voq) {
+                *q = qs.iter().cloned().collect();
+            }
+            port.busy_until = ps.busy_until;
+            port.credits = ps.credits.clone();
+            port.varb.restore_state(&ps.varb);
+            port.rr_in = ps.rr_in.iter().map(|&i| i as usize).collect();
+            for (c, cs) in port.cong.iter_mut().zip(&ps.cong) {
+                c.restore_state(cs);
+            }
+            port.forwarded_packets = ps.forwarded_packets;
+            port.forwarded_bytes = ps.forwarded_bytes;
+            port.xmit_wait = ps.xmit_wait;
+        }
+        Ok(())
+    }
+}
+
+/// Serializable image of one [`SwPort`]'s mutable state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwPortState {
+    /// `voq[out_port * n_vls + vl]`, each queue front-to-back.
+    pub voq: Vec<Vec<Desc>>,
+    pub busy_until: Time,
+    pub credits: Vec<u32>,
+    /// VL-arbiter round-robin cursors.
+    pub varb: VlArbState,
+    /// Per-VL round-robin cursor over input ports.
+    pub rr_in: Vec<u32>,
+    pub cong: Vec<PortVlCongestionState>,
+    pub forwarded_packets: u64,
+    pub forwarded_bytes: u64,
+    pub xmit_wait: u64,
+}
+
+/// Serializable image of a [`Switch`]'s mutable state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwitchState {
+    pub ports: Vec<SwPortState>,
 }
 
 #[cfg(test)]

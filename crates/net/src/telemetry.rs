@@ -18,11 +18,11 @@
 
 use crate::network::Network;
 use ibsim_engine::time::Time;
-use ibsim_engine::RunMeter;
+use ibsim_engine::{Histogram, HistogramState, RunMeter};
 use ibsim_telemetry::{
     Cadence, FlightRecorder, HistId, MetricId, MetricKind, Registry, SampleRow, SampleTable,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 pub use ibsim_telemetry::{FlightEvent, FlightKind, TelemetryConfig};
 
@@ -241,6 +241,96 @@ impl NetTelemetry {
         self.cadence.every()
     }
 
+    /// Export the telemetry runtime state (checkpoint). The column
+    /// layout, metric ids and capacities are configuration — rebuilt by
+    /// [`NetTelemetry::new`] against the same fabric; only the sampler
+    /// position, recorded series and delta baselines are captured.
+    pub(crate) fn state(&self) -> NetTelemetryState {
+        // A checkpoint is a pure function of simulated history; the two
+        // wall-clock self-metrics (events/sec, wall-ms per sim-ms) are
+        // not, so capture normalises them to zero — in the live values
+        // and in every recorded sample row — making save → restore →
+        // run byte-identical to an uninterrupted run.
+        let wall = [self.eng_eps.0 as usize, self.eng_wall.0 as usize];
+        let mut values = self.reg.values().to_vec();
+        let mut rows: Vec<SampleRow> = self.table.rows().cloned().collect();
+        for &w in &wall {
+            values[w] = 0.0;
+            for r in &mut rows {
+                r.values[w] = 0.0;
+            }
+        }
+        NetTelemetryState {
+            cadence_next: self.cadence.next(),
+            values,
+            rows,
+            rows_pushed: self.table.len() as u64 + self.table.dropped(),
+            flight_events: self.flight.events().cloned().collect(),
+            flight_recorded: self.flight.recorded(),
+            occ_hist: self.reg.hist(self.occ_hist).state(),
+            meter_events: self.run_meter.baseline().0,
+            meter_sim: self.run_meter.baseline().1,
+            prev_rx: self.prev_rx.clone(),
+            prev_tx: self.prev_tx.clone(),
+            prev_stall: self.prev_stall.clone(),
+            prev_fecn: self.prev_fecn,
+            prev_becn: self.prev_becn,
+            prev_cnp: self.prev_cnp,
+        }
+    }
+
+    /// Overlay a checkpointed telemetry state onto a freshly
+    /// constructed instance (same fabric, same config). The run meter
+    /// resumes from the captured lap baseline, so the per-lap event
+    /// count stays replay-identical; only its wall-clock anchor
+    /// restarts — wall-time self-metrics are the one telemetry channel
+    /// that is not reproducible, and capture zeroes them.
+    pub(crate) fn restore_state(&mut self, s: &NetTelemetryState) -> Result<(), String> {
+        if s.values.len() != self.reg.len() {
+            return Err(format!(
+                "telemetry state has {} metric values, registry has {}",
+                s.values.len(),
+                self.reg.len()
+            ));
+        }
+        if s.prev_rx.len() != self.prev_rx.len()
+            || s.prev_tx.len() != self.prev_tx.len()
+            || s.prev_stall.len() != self.prev_stall.len()
+        {
+            return Err("telemetry delta-baseline table width mismatch".into());
+        }
+        if !s.cadence_next.as_ps().is_multiple_of(self.cadence.every().as_ps()) {
+            return Err(format!(
+                "telemetry cadence position {} ps is not a multiple of the {} ps period",
+                s.cadence_next.as_ps(),
+                self.cadence.every().as_ps()
+            ));
+        }
+        for r in &s.rows {
+            if r.values.len() != self.reg.len() {
+                return Err("telemetry sample row width mismatch".into());
+            }
+        }
+        self.cadence.set_next(s.cadence_next);
+        self.reg.set_values(&s.values);
+        self.reg
+            .set_hist(self.occ_hist, Histogram::from_state(s.occ_hist.clone()));
+        self.table.restore_rows(s.rows.clone(), s.rows_pushed);
+        self.flight = FlightRecorder::restore(
+            self.flight.capacity(),
+            s.flight_events.clone(),
+            s.flight_recorded,
+        );
+        self.run_meter = RunMeter::start(s.meter_events, s.meter_sim);
+        self.prev_rx = s.prev_rx.clone();
+        self.prev_tx = s.prev_tx.clone();
+        self.prev_stall = s.prev_stall.clone();
+        self.prev_fecn = s.prev_fecn;
+        self.prev_becn = s.prev_becn;
+        self.prev_cnp = s.prev_cnp;
+        Ok(())
+    }
+
     /// Assemble the owned dump document written on a violation (or at
     /// end of run by the experiment runners).
     pub fn dump(&self, at: Time, reason: &str) -> FlightDump {
@@ -257,6 +347,37 @@ impl NetTelemetry {
             occ_blocks_p99: h.quantile(0.99),
         }
     }
+}
+
+/// Serializable image of [`NetTelemetry`]'s runtime state. Capacities,
+/// column names and metric ids are not captured — they are derived from
+/// the fabric and `TelemetryConfig` on reconstruction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetTelemetryState {
+    /// Next unconsumed sample boundary.
+    pub cadence_next: Time,
+    /// Current value of every registered metric, in registry order.
+    pub values: Vec<f64>,
+    /// Retained sample rows, oldest first.
+    pub rows: Vec<SampleRow>,
+    /// Lifetime rows pushed (retained + evicted).
+    pub rows_pushed: u64,
+    /// Retained flight-recorder window, oldest first.
+    pub flight_events: Vec<FlightEvent>,
+    /// Lifetime flight events recorded.
+    pub flight_recorded: u64,
+    /// The whole-fabric occupancy histogram.
+    pub occ_hist: HistogramState,
+    /// The run meter's lap baseline (events, sim time at lap start) —
+    /// deterministic, unlike its wall-clock anchor.
+    pub meter_events: u64,
+    pub meter_sim: Time,
+    pub prev_rx: Vec<u64>,
+    pub prev_tx: Vec<u64>,
+    pub prev_stall: Vec<u64>,
+    pub prev_fecn: u64,
+    pub prev_becn: u64,
+    pub prev_cnp: u64,
 }
 
 /// The flight-recorder dump: the causal window of structured events

@@ -107,6 +107,18 @@ pub struct VlArbiter {
 /// Weight unit: one weight point is 64 bytes of service.
 const WEIGHT_BYTES: u32 = 64;
 
+/// Serializable image of a [`VlArbiter`]'s round-robin position — the
+/// cursor state a mid-run checkpoint must carry so the next grant after
+/// restore picks the same lane an uninterrupted run would.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VlArbState {
+    pub high_idx: u32,
+    pub high_left: u32,
+    pub low_idx: u32,
+    pub low_left: u32,
+    pub high_since_low: u64,
+}
+
 impl VlArbiter {
     pub fn new(table: VlArbTable) -> Self {
         let high_left = table
@@ -129,6 +141,27 @@ impl VlArbiter {
 
     pub fn table(&self) -> &VlArbTable {
         &self.table
+    }
+
+    /// Export the arbiter's round-robin cursors (checkpoint). The table
+    /// itself is configuration, rebuilt from `NetConfig`.
+    pub fn state(&self) -> VlArbState {
+        VlArbState {
+            high_idx: self.high_idx as u32,
+            high_left: self.high_left,
+            low_idx: self.low_idx as u32,
+            low_left: self.low_left,
+            high_since_low: self.high_since_low,
+        }
+    }
+
+    /// Overwrite the arbiter's cursors (checkpoint restore).
+    pub fn restore_state(&mut self, s: &VlArbState) {
+        self.high_idx = s.high_idx as usize;
+        self.high_left = s.high_left;
+        self.low_idx = s.low_idx as usize;
+        self.low_left = s.low_left;
+        self.high_since_low = s.high_since_low;
     }
 
     /// Byte budget after which a low-priority slot must be offered.

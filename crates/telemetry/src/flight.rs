@@ -7,10 +7,10 @@
 
 use crate::ring::Ring;
 use ibsim_engine::time::Time;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// What kind of fabric event a record describes.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum FlightKind {
     /// A FECN-marked packet was forwarded (congestion detected).
     Mark,
@@ -29,7 +29,7 @@ pub enum FlightKind {
 }
 
 /// One recorded event.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FlightEvent {
     /// Simulated time of the event, picoseconds.
     pub at_ps: u64,
@@ -97,6 +97,20 @@ impl FlightRecorder {
     /// Records ever taken (retained + dropped).
     pub fn recorded(&self) -> u64 {
         self.seq
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Rebuild a recorder from its retained window (oldest first) and
+    /// lifetime record count — the checkpoint-restore inverse of
+    /// [`FlightRecorder::events`] + [`FlightRecorder::recorded`].
+    pub fn restore(capacity: usize, events: Vec<FlightEvent>, recorded: u64) -> Self {
+        FlightRecorder {
+            ring: Ring::restore(capacity, events, recorded),
+            seq: recorded,
+        }
     }
 }
 

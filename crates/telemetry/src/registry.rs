@@ -112,6 +112,19 @@ impl Registry {
         &self.hists[id.0 as usize]
     }
 
+    /// Overwrite a histogram's accumulated state (checkpoint restore).
+    pub fn set_hist(&mut self, id: HistId, h: ibsim_engine::Histogram) {
+        self.hists[id.0 as usize] = h;
+    }
+
+    /// Overwrite the whole value row (checkpoint restore); the layout —
+    /// names, kinds, allocation order — is reconstructed from the
+    /// fabric, so only the values travel.
+    pub fn set_values(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.values.len(), "metric row width mismatch");
+        self.values.copy_from_slice(values);
+    }
+
     pub fn hist_names(&self) -> &[String] {
         &self.hist_names
     }

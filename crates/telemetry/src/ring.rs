@@ -66,6 +66,28 @@ impl<T> Ring<T> {
         let n = self.buf.len();
         (0..n).map(move |i| &self.buf[(self.head + i) % n.max(1)])
     }
+
+    /// Total elements ever pushed (retained plus evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Rebuild a ring from its retained window (oldest first) and
+    /// lifetime push count — the inverse of `iter()` + [`Ring::pushed`],
+    /// for checkpoint restore. `items` must fit the capacity and the
+    /// push count must cover them.
+    pub fn restore(capacity: usize, items: Vec<T>, pushed: u64) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert!(items.len() <= capacity, "restored window exceeds capacity");
+        assert!(pushed >= items.len() as u64, "push count below window size");
+        let mut buf = Vec::with_capacity(capacity);
+        buf.extend(items);
+        Ring {
+            buf,
+            head: 0,
+            pushed,
+        }
+    }
 }
 
 #[cfg(test)]

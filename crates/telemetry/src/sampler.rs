@@ -61,6 +61,17 @@ impl Cadence {
         self.next = t + self.every;
         t
     }
+
+    /// Reposition the schedule (checkpoint restore): the next pending
+    /// boundary becomes `next`. Must be a boundary of this cadence.
+    pub fn set_next(&mut self, next: Time) {
+        assert!(
+            next.as_ps().is_multiple_of(self.every.as_ps()),
+            "cadence position {next:?} is not a multiple of {:?}",
+            self.every
+        );
+        self.next = next;
+    }
 }
 
 #[cfg(test)]

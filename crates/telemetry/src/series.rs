@@ -4,11 +4,11 @@
 
 use crate::registry::MetricKind;
 use crate::ring::Ring;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One sample: every registered metric's value at one boundary.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SampleRow {
     pub t_ps: u64,
     pub values: Vec<f64>,
@@ -109,6 +109,20 @@ impl SampleTable {
             out.push('\n');
         }
         out
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.rows.capacity()
+    }
+
+    /// Replace the row window (checkpoint restore): `rows` oldest first,
+    /// `pushed` the lifetime push count (retained + evicted). The column
+    /// layout is untouched — it is reconstructed from the fabric.
+    pub fn restore_rows(&mut self, rows: Vec<SampleRow>, pushed: u64) {
+        for r in &rows {
+            assert_eq!(r.values.len(), self.names.len(), "row width mismatch");
+        }
+        self.rows = Ring::restore(self.rows.capacity(), rows, pushed);
     }
 
     /// Owned dump for JSON export.

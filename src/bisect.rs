@@ -1,0 +1,174 @@
+//! Divergence bisector: localise *when* two builds of the same
+//! scenario first disagree, and on *which field*.
+//!
+//! The debugging situation this serves: a run that should be
+//! deterministic (same topology, seed and workload) produces different
+//! numbers under two configurations — a CC parameter changed, a
+//! refactor that was meant to be behaviour-preserving, a suspect
+//! optimisation. End-of-run CSVs only say *that* the runs diverged;
+//! this module binary-searches over checkpoint times to find the first
+//! window in which the two full state trees differ, then names the
+//! differing fields via `ibsim_state::diff_values` (JSON-pointer paths
+//! like `/hcas/3/cc/flows/0/ccti`).
+//!
+//! Both sides are re-simulated from scratch for every probe — runs are
+//! deterministic, so state at time `t` is a pure function of the
+//! configuration, and divergence is monotone: once the trees differ
+//! they never re-converge (the differing state feeds every later
+//! event). That monotonicity is what makes bisection sound.
+
+use ibsim_cc::CcParams;
+use ibsim_engine::time::{Time, TimeDelta};
+use ibsim_net::{NetConfig, Network};
+use ibsim_state::{diff_values, DiffEntry};
+use ibsim_topo::Topology;
+use ibsim_traffic::{RoleSpec, Scenario};
+use serde::{Serialize, Value};
+
+/// Diff entries whose path contains any of these substrings are not
+/// divergence: a deliberately perturbed parameter — and its static
+/// per-port mirror (`threshold_bytes`) — differs from t = 0 by
+/// construction. Everything *downstream* of the parameter (CCTIs,
+/// queue contents, event timing) still counts.
+pub const DEFAULT_IGNORE: &[&str] = &["/cc/params", "/threshold_bytes"];
+
+/// Outcome of a successful bisection.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Last probed instant at which the two state trees were identical
+    /// (modulo ignored paths).
+    pub clean_at: Time,
+    /// First probed instant at which they differed. The first divergent
+    /// event lies in `(clean_at, diverged_at]`.
+    pub diverged_at: Time,
+    /// Field-level differences at `diverged_at`, ignored paths removed.
+    pub diffs: Vec<DiffEntry>,
+    /// Probes performed (pairs of runs).
+    pub probes: u32,
+}
+
+impl Divergence {
+    /// The JSON-pointer path of the most informative differing field:
+    /// the first device-state difference (a switch or HCA field) when
+    /// one exists, else the first difference of any kind — engine
+    /// bookkeeping (`/now`, `/events_processed`) diverges with
+    /// everything and names nothing.
+    pub fn first_field(&self) -> Option<&str> {
+        self.diffs
+            .iter()
+            .find(|d| d.path.starts_with("/switches") || d.path.starts_with("/hcas"))
+            .or_else(|| self.diffs.first())
+            .map(|d| d.path.as_str())
+    }
+}
+
+/// Run `roles` on a fresh fabric to `t` and capture the full state tree
+/// as a JSON value. Hotspots stay fixed; the bisector compares fabrics
+/// under steady congestion, where CC behaviour differences surface.
+pub fn state_value_at(topo: &Topology, cfg: &NetConfig, roles: RoleSpec, t: Time) -> Value {
+    let mut net = Network::new(topo, cfg.clone());
+    let _sc = Scenario::install_opts(roles, &mut net, ibsim_net::PAPER_MSG_BYTES, true);
+    net.run_until(t);
+    net.checkpoint().to_value()
+}
+
+fn probe(
+    topo: &Topology,
+    cfg_a: &NetConfig,
+    cfg_b: &NetConfig,
+    roles: RoleSpec,
+    t: Time,
+    ignore: &[&str],
+) -> Vec<DiffEntry> {
+    let a = state_value_at(topo, cfg_a, roles, t);
+    let b = state_value_at(topo, cfg_b, roles, t);
+    let mut diffs = diff_values(&a, &b, 4096);
+    diffs.retain(|d| !ignore.iter().any(|pat| d.path.contains(pat)));
+    diffs
+}
+
+/// Binary-search `[0, horizon]` for the first window (of width at most
+/// `resolution`) in which runs under `cfg_a` and `cfg_b` hold different
+/// state. Returns `None` when the two agree over the whole horizon.
+///
+/// Cost: two full runs per probe, ~`2·log2(horizon/resolution)` runs
+/// total — size the topology accordingly.
+pub fn bisect_divergence(
+    topo: &Topology,
+    cfg_a: &NetConfig,
+    cfg_b: &NetConfig,
+    roles: RoleSpec,
+    horizon: Time,
+    resolution: TimeDelta,
+    ignore: &[&str],
+) -> Option<Divergence> {
+    assert!(!resolution.is_zero(), "bisect resolution must be positive");
+    let mut probes = 0u32;
+    let mut run = |t: Time| {
+        probes += 1;
+        probe(topo, cfg_a, cfg_b, roles, t, ignore)
+    };
+
+    let mut hi_diffs = run(horizon);
+    if hi_diffs.is_empty() {
+        return None;
+    }
+    let mut lo = Time::ZERO;
+    let mut hi = horizon;
+    // The two fabrics share all pre-run state except the ignored
+    // parameters, but parameter-derived scheduling (CCTI timer phases)
+    // can differ from the very first event — probe t = 0 rather than
+    // assuming it is clean.
+    let zero_diffs = run(Time::ZERO);
+    if !zero_diffs.is_empty() {
+        return Some(Divergence {
+            clean_at: Time::ZERO,
+            diverged_at: Time::ZERO,
+            diffs: zero_diffs,
+            probes,
+        });
+    }
+    while hi.as_ps() - lo.as_ps() > resolution.as_ps() {
+        let mid = Time(lo.as_ps() + (hi.as_ps() - lo.as_ps()) / 2);
+        let d = run(mid);
+        eprintln!(
+            "bisect: t={:.1} us -> {}",
+            mid.as_us_f64(),
+            if d.is_empty() {
+                "identical".to_string()
+            } else {
+                format!("{} fields differ", d.len())
+            }
+        );
+        if d.is_empty() {
+            lo = mid;
+        } else {
+            hi = mid;
+            hi_diffs = d;
+        }
+    }
+    Some(Divergence {
+        clean_at: lo,
+        diverged_at: hi,
+        diffs: hi_diffs,
+        probes,
+    })
+}
+
+/// Apply a named single-parameter perturbation to a `CcParams` — the
+/// "one build differs by one knob" setup the `bisect` binary drives.
+pub fn perturb_cc(params: &mut CcParams, key: &str, value: u64) {
+    match key {
+        "threshold" => params.threshold = value as u8,
+        "packet_size" => params.packet_size = value as u32,
+        "marking_rate" => params.marking_rate = value as u16,
+        "ccti_increase" => params.ccti_increase = value as u16,
+        "ccti_limit" => params.ccti_limit = value as u16,
+        "ccti_min" => params.ccti_min = value as u16,
+        "ccti_timer" => params.ccti_timer = value as u16,
+        other => panic!(
+            "unknown CC parameter {other:?}; one of threshold, packet_size, \
+             marking_rate, ccti_increase, ccti_limit, ccti_min, ccti_timer"
+        ),
+    }
+}

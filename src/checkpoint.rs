@@ -1,0 +1,198 @@
+//! Process-wide checkpoint/resume switchboard for experiment runs.
+//!
+//! Experiment binaries (and CI) drive state capture without threading
+//! parameters through every runner, mirroring [`crate::audit`] and
+//! [`crate::telemetry`]:
+//!
+//! * `--checkpoint-at US` / `IBSIM_CKPT_AT=US` — every run this process
+//!   performs saves a full-state checkpoint when its simulated clock
+//!   first reaches `US` microseconds;
+//! * `--checkpoint-dir DIR` / `IBSIM_CKPT_DIR=DIR` — where checkpoint
+//!   files land (default `checkpoints/`);
+//! * `--resume-from DIR` / `IBSIM_RESUME=DIR` — before running, each
+//!   run looks for its own checkpoint in `DIR` and fast-forwards the
+//!   fabric to the saved state. Runs with no matching file start from
+//!   scratch, so a multi-run binary (Table II's four cells, a CC pair)
+//!   resumes exactly the cells that were checkpointed.
+//!
+//! One file per run: the name encodes the topology digest (switch /
+//! HCA / channel counts, VLs, seed, CC on/off) *and* a workload label
+//! (role split, durations, hotspot lifetime, fault count), because a
+//! single binary runs many scenarios over the same fabric and seed.
+//! Resuming against a file whose header digest disagrees with the live
+//! fabric fails loudly, naming the first mismatching field — the
+//! format- and topology-validation layer lives in `ibsim-state`.
+
+use ibsim_engine::time::{Time, TimeDelta, PS_PER_US};
+use ibsim_net::{FaultSchedule, Network, NetworkState};
+use ibsim_state::{CheckpointHeader, TopoDigest};
+use ibsim_traffic::RoleSpec;
+use serde::Deserialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::experiment::RunDurations;
+
+/// 0 = defer to the environment, `u64::MAX` = forced off, anything
+/// else = forced checkpoint time in picoseconds.
+static FORCE_AT: AtomicU64 = AtomicU64::new(0);
+static DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static RESUME: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Force a checkpoint time for every subsequent run in this process
+/// (`Some(t)`) or force checkpointing off (`None`), overriding
+/// `IBSIM_CKPT_AT`.
+pub fn force_at(at: Option<Time>) {
+    let v = match at {
+        None => u64::MAX,
+        Some(t) => t.as_ps().max(1),
+    };
+    FORCE_AT.store(v, Ordering::Relaxed);
+}
+
+/// The checkpoint time currently in effect, if any.
+pub fn save_at() -> Option<Time> {
+    match FORCE_AT.load(Ordering::Relaxed) {
+        0 => env_at(),
+        u64::MAX => None,
+        ps => Some(Time(ps)),
+    }
+}
+
+fn env_at() -> Option<Time> {
+    static CACHE: OnceLock<Option<u64>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let us = std::env::var("IBSIM_CKPT_AT").ok()?;
+            let us: u64 = us
+                .parse()
+                .unwrap_or_else(|_| panic!("IBSIM_CKPT_AT wants microseconds, got {us:?}"));
+            (us > 0).then_some(us * PS_PER_US)
+        })
+        .map(Time)
+}
+
+/// Override the checkpoint output directory (`--checkpoint-dir`).
+pub fn set_dir(dir: impl Into<PathBuf>) {
+    *DIR.lock().unwrap() = Some(dir.into());
+}
+
+/// The directory checkpoint files are written to.
+pub fn dir() -> PathBuf {
+    if let Some(d) = DIR.lock().unwrap().clone() {
+        return d;
+    }
+    std::env::var("IBSIM_CKPT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("checkpoints"))
+}
+
+/// Force a resume directory (`--resume-from`), overriding
+/// `IBSIM_RESUME`. `None` reverts to the environment.
+pub fn force_resume(dir: Option<PathBuf>) {
+    *RESUME.lock().unwrap() = dir;
+}
+
+/// The directory runs resume from, if resuming is requested at all.
+pub fn resume_dir() -> Option<PathBuf> {
+    if let Some(d) = RESUME.lock().unwrap().clone() {
+        return Some(d);
+    }
+    std::env::var("IBSIM_RESUME").ok().map(PathBuf::from)
+}
+
+/// The live fabric's identity, embedded in every checkpoint header and
+/// re-validated on resume.
+pub fn digest(net: &Network) -> TopoDigest {
+    TopoDigest {
+        switches: net.switches.len() as u64,
+        hcas: net.hcas.len() as u64,
+        channels: net.channels.len() as u64,
+        n_vls: net.cfg.n_vls as u64,
+        seed: net.cfg.seed,
+        cc: net.cc_enabled(),
+    }
+}
+
+/// The workload half of a run's checkpoint file name: everything that
+/// distinguishes two runs sharing a fabric and seed.
+pub fn run_label(
+    roles: &RoleSpec,
+    dur: &RunDurations,
+    hotspot_lifetime: Option<TimeDelta>,
+    contributors_active: bool,
+    faults: Option<&FaultSchedule>,
+) -> String {
+    format!(
+        "r{}-{}-{}-{}-{}_w{}m{}_l{}_a{}_f{}",
+        roles.num_nodes,
+        roles.num_hotspots,
+        roles.b_pct,
+        roles.b_p,
+        roles.c_pct_of_rest,
+        dur.warmup.as_ps(),
+        dur.measure.as_ps(),
+        hotspot_lifetime.map_or(0, |l| l.as_ps()),
+        contributors_active as u8,
+        faults.map_or(0, |f| f.faults().len()),
+    )
+}
+
+/// Deterministic checkpoint file name for one run.
+pub fn file_name(d: &TopoDigest, label: &str) -> String {
+    format!(
+        "ckpt_s{}h{}c{}v{}_seed{:x}_cc{}_{}.json",
+        d.switches, d.hcas, d.channels, d.n_vls, d.seed, d.cc as u8, label
+    )
+}
+
+/// Save a checkpoint of `net` into [`dir`], returning the path.
+/// Panics on I/O failure: a silently missing checkpoint would turn a
+/// later resume into a silent from-scratch rerun.
+pub fn save(net: &Network, label: &str) -> PathBuf {
+    let d = digest(net);
+    let out = dir();
+    std::fs::create_dir_all(&out)
+        .unwrap_or_else(|e| panic!("checkpoint: cannot create {}: {e}", out.display()));
+    let path = out.join(file_name(&d, label));
+    let header = CheckpointHeader::new(net.now().as_ps(), net.events_processed(), d);
+    ibsim_state::save(&path, &header, &net.checkpoint())
+        .unwrap_or_else(|e| panic!("checkpoint: {e}"));
+    eprintln!(
+        "checkpoint: saved {} at t={:.1} us ({} events)",
+        path.display(),
+        net.now().as_us_f64(),
+        net.events_processed()
+    );
+    path
+}
+
+/// Look for this run's checkpoint in the resume directory. Returns the
+/// saved clock and decoded state, or `None` when resuming is off or no
+/// matching file exists. A file that exists but fails format, topology
+/// or payload validation panics with the structured `ibsim-state`
+/// error — resuming from the wrong checkpoint must never degrade into
+/// a silent cold start.
+pub fn load_for(net: &Network, label: &str) -> Option<(Time, NetworkState)> {
+    let from = resume_dir()?;
+    let d = digest(net);
+    let path = from.join(file_name(&d, label));
+    if !path.exists() {
+        return None;
+    }
+    let (header, state) = ibsim_state::load(&path)
+        .unwrap_or_else(|e| panic!("resume {}: {e}", path.display()));
+    header
+        .validate_topo(&d)
+        .unwrap_or_else(|e| panic!("resume {}: {e}", path.display()));
+    let state = NetworkState::from_value(&state)
+        .unwrap_or_else(|e| panic!("resume {}: corrupt state: {e}", path.display()));
+    eprintln!(
+        "checkpoint: resuming {} from t={:.1} us ({} events)",
+        path.display(),
+        Time(header.at_ps).as_us_f64(),
+        header.events_processed
+    );
+    Some((Time(header.at_ps), state))
+}

@@ -68,6 +68,41 @@ pub struct ScenarioResult {
     pub events: u64,
 }
 
+/// Splits each `run_until` segment at the pending checkpoint time, if
+/// one falls inside it: run to the capture instant, save, then finish
+/// the segment. Capture therefore happens *before* boundary actions
+/// (starting measurement, moving hotspots) at the same instant, and
+/// the resume path re-executes those actions.
+struct CkptHook {
+    pending: Option<Time>,
+    label: String,
+}
+
+impl CkptHook {
+    fn new(label: String, resumed_at: Option<Time>) -> Self {
+        let mut pending = crate::checkpoint::save_at();
+        // A resumed run never re-saves a capture point it is at or
+        // beyond — the file it came from already holds that state.
+        if let (Some(at), Some(r)) = (pending, resumed_at) {
+            if at <= r {
+                pending = None;
+            }
+        }
+        CkptHook { pending, label }
+    }
+
+    fn run_until(&mut self, net: &mut Network, to: Time) {
+        if let Some(at) = self.pending {
+            if at <= to {
+                net.run_until(at);
+                crate::checkpoint::save(net, &self.label);
+                self.pending = None;
+            }
+        }
+        net.run_until(to);
+    }
+}
+
 /// Run one hotspot scenario. `hotspot_lifetime = None` keeps hotspots
 /// fixed (silent/windy forests); `Some(L)` moves every hotspot each `L`
 /// of simulated time (the stormy forests of §V-C), starting during
@@ -132,32 +167,73 @@ pub fn run_scenario_faults(
     );
     let t_end = Time::ZERO + dur.total();
 
+    // Optional resume: fast-forward the freshly configured (but not yet
+    // primed) fabric from this run's checkpoint, if one exists. Hotspot
+    // moves the saved run performed before the capture are replayed
+    // first — retargeting rewires class *configuration*, which the
+    // checkpoint deliberately does not carry. The move scheduled at the
+    // capture instant itself (if any) fired after the save, so it is
+    // left to the resumed epoch loop below.
+    let label = crate::checkpoint::run_label(
+        &roles,
+        &dur,
+        hotspot_lifetime,
+        contributors_active,
+        faults,
+    );
+    let mut resumed_at = None;
+    if let Some((at, state)) = crate::checkpoint::load_for(&net, &label) {
+        if let Some(life) = hotspot_lifetime {
+            let mut m = Time::ZERO + life;
+            while m < at {
+                sc.move_hotspots(&mut net);
+                m += life;
+            }
+        }
+        net.restore(&state)
+            .unwrap_or_else(|e| panic!("checkpoint restore failed: {e}"));
+        resumed_at = Some(at);
+    }
+    let mut ck = CkptHook::new(label, resumed_at);
+
     match hotspot_lifetime {
         None => {
-            net.run_until(Time::ZERO + dur.warmup);
-            net.start_measurement();
-            net.run_until(t_end);
+            ck.run_until(&mut net, Time::ZERO + dur.warmup);
+            if !net.is_measuring() {
+                net.start_measurement();
+            }
+            ck.run_until(&mut net, t_end);
         }
         Some(life) => {
             assert!(!life.is_zero(), "hotspot lifetime must be positive");
             let mut t = Time::ZERO;
-            let mut measuring = false;
+            if let Some(at) = resumed_at {
+                // Re-enter the epoch loop at the last boundary strictly
+                // before the capture, so a move scheduled exactly at the
+                // capture instant still fires.
+                while t + life < at {
+                    t += life;
+                }
+            }
+            let mut measuring = net.is_measuring();
             while t < t_end {
                 let next_move = t + life;
                 let warmup_end = Time::ZERO + dur.warmup;
                 if !measuring && warmup_end <= next_move.min(t_end) {
-                    net.run_until(warmup_end);
-                    net.start_measurement();
+                    ck.run_until(&mut net, warmup_end);
+                    if !net.is_measuring() {
+                        net.start_measurement();
+                    }
                     measuring = true;
                 }
                 let stop = next_move.min(t_end);
-                net.run_until(stop);
+                ck.run_until(&mut net, stop);
                 t = stop;
                 if t < t_end {
                     sc.move_hotspots(&mut net);
                 }
             }
-            if !measuring {
+            if !measuring && !net.is_measuring() {
                 net.start_measurement();
             }
         }

@@ -42,6 +42,8 @@
 //! ```
 
 pub mod audit;
+pub mod bisect;
+pub mod checkpoint;
 pub mod drill;
 pub mod experiment;
 pub mod figures;
@@ -51,6 +53,7 @@ pub mod report;
 pub mod sweep;
 pub mod telemetry;
 
+pub use bisect::{bisect_divergence, perturb_cc, Divergence};
 pub use drill::{run_drill, run_drill_floor, DrillReport};
 pub use figures::{FigureRow, FigureSeries};
 pub use experiment::{

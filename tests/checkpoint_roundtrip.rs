@@ -1,0 +1,462 @@
+//! Round-trip guarantees of the checkpoint subsystem.
+//!
+//! The contract under test: `run_until(T); save; restore onto a fresh
+//! fabric; run_until(H)` holds state *identical* to running straight
+//! to `H` — with every stateful overlay armed (faults mid-window,
+//! the invariant audit, telemetry sampling). Identity is checked on
+//! the full [`NetworkState`] tree (event queue with original `(time,
+//! seq)` keys, every buffer, CCTI, ledger and sample row), which is
+//! strictly stronger than comparing end-of-run CSVs.
+//!
+//! Also here: the corruption/negative paths (bumped format version,
+//! truncated payload, wrong magic, checkpoint from a different fabric
+//! — all structured errors, never panics) and the committed golden
+//! checkpoint the CI leg diffs structurally (re-bless with
+//! `IBSIM_BLESS=1 cargo test`).
+
+use ibsim::prelude::*;
+use ibsim_net::{NetworkSnapshot, NetworkState};
+use ibsim_state::{
+    diff_values, CheckpointHeader, StateError, TopoDigest, FORMAT_VERSION, MAGIC,
+};
+use ibsim_telemetry::TelemetryConfig;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// Serialises tests that flip the process-wide checkpoint toggles
+/// (`ibsim::checkpoint::force_at` & co.); the cargo test harness runs
+/// tests of one binary on parallel threads.
+static TOGGLES: Mutex<()> = Mutex::new(());
+
+const FAULT_SPEC: &str = "becnloss:link=hcas,p=0.5;flap:link=hca:1,at=300us,dur=100us,factor=stall";
+
+/// A fully loaded tiny fabric: TEST_8 fat-tree, one hotspot, CC as
+/// requested, fault schedule with an open flap window mid-run, audit
+/// and telemetry armed. Deterministic: two calls build identical nets.
+fn loaded_net(seed: u64, cc: bool, faults: bool) -> Network {
+    let topo = FatTreeSpec::TEST_8.build();
+    let mut cfg = NetConfig::paper().with_seed(seed);
+    if !cc {
+        cfg.cc = None;
+    }
+    let mut net = Network::new(&topo, cfg);
+    net.enable_audit(20_000);
+    net.enable_telemetry(TelemetryConfig::every(TimeDelta::from_us(50)));
+    if faults {
+        let schedule = FaultSchedule::from_spec(FAULT_SPEC, seed).expect("valid fault spec");
+        net.install_faults(schedule);
+    }
+    let roles = RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: 1,
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    };
+    let _sc = Scenario::install_opts(roles, &mut net, PAPER_MSG_BYTES, true);
+    net
+}
+
+/// The core identity check: interrupted and uninterrupted runs reach
+/// byte-identical state at the horizon.
+fn assert_roundtrip(seed: u64, cc: bool, faults: bool, ck_at_ps: u64, horizon_ps: u64) {
+    let ck_at = Time(ck_at_ps);
+    let horizon = Time(horizon_ps);
+
+    let mut straight = loaded_net(seed, cc, faults);
+    straight.run_until(ck_at);
+    let saved = straight.checkpoint();
+    straight.run_until(horizon);
+    let want = straight.checkpoint();
+
+    let mut resumed = loaded_net(seed, cc, faults);
+    resumed
+        .restore(&saved)
+        .expect("restore onto an identically configured fabric");
+    resumed.run_until(horizon);
+    let got = resumed.checkpoint();
+
+    assert_eq!(
+        NetworkSnapshot::capture(&resumed),
+        NetworkSnapshot::capture(&straight),
+        "diag snapshots diverged after resume (seed={seed} cc={cc} faults={faults} ck={ck_at_ps})"
+    );
+    if want != got {
+        let diffs = diff_values(&want.to_value(), &got.to_value(), 10);
+        panic!(
+            "resumed state diverged (seed={seed} cc={cc} faults={faults} ck={ck_at_ps}):\n{}",
+            ibsim_state::render_diff(&diffs)
+        );
+    }
+}
+
+#[test]
+fn roundtrip_mid_warmup_cc_on() {
+    assert_roundtrip(0x1B51_C0DE, true, true, 150_000_000, 700_000_000);
+}
+
+#[test]
+fn roundtrip_inside_fault_window_cc_on() {
+    // 350 µs: the flap window (300–400 µs) is open at capture time.
+    assert_roundtrip(0x1B51_C0DE, true, true, 350_000_000, 700_000_000);
+}
+
+#[test]
+fn roundtrip_cc_off() {
+    assert_roundtrip(0x1B51_C0DE, false, true, 350_000_000, 700_000_000);
+}
+
+#[test]
+fn roundtrip_no_faults() {
+    assert_roundtrip(0x1B51_C0DE, true, false, 250_000_000, 700_000_000);
+}
+
+#[test]
+fn roundtrip_at_zero_and_at_horizon() {
+    // Degenerate capture points: before the first event and at the end.
+    assert_roundtrip(7, true, true, 0, 400_000_000);
+    assert_roundtrip(7, true, true, 400_000_000, 400_000_000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any capture instant in [0, horizon], any seed, either CC mode,
+    /// with or without faults: the round trip is exact.
+    #[test]
+    fn roundtrip_is_exact_everywhere(
+        seed in 0u64..1_000,
+        cc in proptest::bool::ANY,
+        faults in proptest::bool::ANY,
+        ck_us in 0u64..=500,
+    ) {
+        assert_roundtrip(seed, cc, faults, ck_us * 1_000_000, 500_000_000);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative paths: every way a restore can go wrong is a structured
+// error naming the mismatch — never a panic, never a silent cold start.
+// ---------------------------------------------------------------------
+
+fn tiny_checkpoint() -> (CheckpointHeader, NetworkState, Network) {
+    let mut net = loaded_net(3, true, true);
+    net.run_until(Time::from_us(200));
+    let digest = ibsim::checkpoint::digest(&net);
+    let header = CheckpointHeader::new(net.now().as_ps(), net.events_processed(), digest);
+    let state = net.checkpoint();
+    (header, state, net)
+}
+
+#[test]
+fn bumped_version_is_rejected_with_both_versions_named() {
+    let (mut header, state, _net) = tiny_checkpoint();
+    header.version = FORMAT_VERSION + 1;
+    let text = ibsim_state::encode(&header, &state);
+    match ibsim_state::decode(&text) {
+        Err(StateError::VersionMismatch { found, expected }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(expected, FORMAT_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let (mut header, state, _net) = tiny_checkpoint();
+    header.magic = "telemetry-csv".into();
+    let text = ibsim_state::encode(&header, &state);
+    match ibsim_state::decode(&text) {
+        Err(StateError::BadMagic { found }) => assert_eq!(found, "telemetry-csv"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_payload_is_rejected_not_panicking() {
+    let (header, state, _net) = tiny_checkpoint();
+    let text = ibsim_state::encode(&header, &state);
+    // Chop at several depths: mid-header, mid-state, last byte.
+    for cut in [text.len() / 50, text.len() / 2, text.len() - 1] {
+        let err = ibsim_state::decode(&text[..cut]).expect_err("truncated text must not decode");
+        let msg = err.to_string();
+        assert!(
+            matches!(err, StateError::Truncated { .. } | StateError::Corrupt { .. }),
+            "cut at {cut}: expected Truncated/Corrupt, got {msg}"
+        );
+        assert!(!msg.is_empty());
+    }
+}
+
+#[test]
+fn checkpoint_from_different_fabric_is_rejected_naming_the_field() {
+    let (header, state, _net) = tiny_checkpoint();
+    // A different fabric: one switch, four HCAs.
+    let topo = single_switch(4, 2);
+    let mut other = Network::new(&topo, NetConfig::paper());
+    let live = ibsim::checkpoint::digest(&other);
+    match header.validate_topo(&live) {
+        Err(StateError::TopologyMismatch { field, found, expected }) => {
+            assert_eq!(field, "switches");
+            assert_ne!(found, expected);
+        }
+        other => panic!("expected TopologyMismatch, got {other:?}"),
+    }
+    // The state-level restore also refuses, naming the count mismatch.
+    let err = other.restore(&state).expect_err("cross-fabric restore must fail");
+    assert!(err.contains("switches"), "unhelpful error: {err}");
+}
+
+#[test]
+fn overlay_mismatch_is_rejected() {
+    // Checkpoint without faults, restore into a fabric with a schedule
+    // installed (and vice versa): both directions are structured errors.
+    let mut plain = loaded_net(5, true, false);
+    plain.run_until(Time::from_us(100));
+    let no_fault_state = plain.checkpoint();
+    let mut faulted = loaded_net(5, true, true);
+    let err = faulted
+        .restore(&no_fault_state)
+        .expect_err("fault-overlay mismatch must fail");
+    assert!(err.contains("fault"), "unhelpful error: {err}");
+
+    faulted.run_until(Time::from_us(100));
+    let fault_state = faulted.checkpoint();
+    let mut plain2 = loaded_net(5, true, false);
+    let err = plain2
+        .restore(&fault_state)
+        .expect_err("fault-overlay mismatch must fail");
+    assert!(err.contains("fault"), "unhelpful error: {err}");
+}
+
+#[test]
+fn corrupt_telemetry_cadence_is_rejected() {
+    // A cadence position that is not a multiple of the sampling period
+    // is structurally impossible; restore must reject it rather than
+    // trip the sampler's internal assertion later.
+    let (_header, mut state, _net) = tiny_checkpoint();
+    let tel = state.telemetry.as_mut().expect("telemetry armed");
+    tel.cadence_next = Time(tel.cadence_next.as_ps() + 1);
+    let mut net = loaded_net(3, true, true);
+    let err = net.restore(&state).expect_err("off-cadence restore must fail");
+    assert!(err.contains("cadence"), "unhelpful error: {err}");
+}
+
+// ---------------------------------------------------------------------
+// Harness-level resume: the run_scenario_* entry points save at
+// --checkpoint-at and resume from --resume-from with byte-identical
+// results, across plain, measured and moving-hotspot runs.
+// ---------------------------------------------------------------------
+
+fn tiny_roles(topo: &Topology) -> RoleSpec {
+    RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: 1,
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    }
+}
+
+fn tiny_dur() -> RunDurations {
+    RunDurations {
+        warmup: TimeDelta::from_us(200),
+        measure: TimeDelta::from_us(500),
+    }
+}
+
+fn scenario_json(lifetime: Option<TimeDelta>, faults: Option<&FaultSchedule>) -> String {
+    let topo = FatTreeSpec::TEST_8.build();
+    let r = run_scenario_faults(
+        &topo,
+        NetConfig::paper(),
+        tiny_roles(&topo),
+        tiny_dur(),
+        lifetime,
+        true,
+        faults,
+    );
+    serde_json::to_string(&r).expect("serialise result")
+}
+
+fn assert_harness_resume(ck_us: u64, lifetime: Option<TimeDelta>, faults: Option<&FaultSchedule>) {
+    let _guard = TOGGLES.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!(
+        "ibsim_ckpt_rt_{}_{ck_us}_{}",
+        std::process::id(),
+        lifetime.map_or(0, |l| l.as_ps()),
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+
+    ibsim::checkpoint::force_at(None);
+    ibsim::checkpoint::force_resume(None);
+    let baseline = scenario_json(lifetime, faults);
+
+    // Pass 1: save a checkpoint mid-run (the save must not perturb).
+    ibsim::checkpoint::set_dir(&dir);
+    ibsim::checkpoint::force_at(Some(Time::from_us(ck_us)));
+    let saving = scenario_json(lifetime, faults);
+    assert_eq!(saving, baseline, "saving a checkpoint perturbed the run");
+    assert_eq!(
+        std::fs::read_dir(&dir).expect("checkpoint dir").count(),
+        1,
+        "expected exactly one checkpoint file"
+    );
+
+    // Pass 2: resume from it.
+    ibsim::checkpoint::force_at(None);
+    ibsim::checkpoint::force_resume(Some(dir.clone()));
+    let resumed = scenario_json(lifetime, faults);
+    assert_eq!(resumed, baseline, "resumed run diverged from baseline");
+
+    ibsim::checkpoint::force_resume(None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn harness_resume_mid_warmup() {
+    assert_harness_resume(100, None, None);
+}
+
+#[test]
+fn harness_resume_mid_measurement() {
+    assert_harness_resume(450, None, None);
+}
+
+#[test]
+fn harness_resume_moving_hotspots_mid_epoch() {
+    // 150 µs epochs; 475 µs is mid-epoch, past warmup, after 3 moves.
+    assert_harness_resume(475, Some(TimeDelta::from_us(150)), None);
+}
+
+#[test]
+fn harness_resume_moving_hotspots_at_epoch_boundary() {
+    // 450 µs is exactly an epoch boundary: the capture lands before the
+    // move at 450 µs, which the resumed run must re-execute.
+    assert_harness_resume(450, Some(TimeDelta::from_us(150)), None);
+}
+
+#[test]
+fn harness_resume_under_faults() {
+    let schedule = FaultSchedule::from_spec(FAULT_SPEC, 0x1B51_C0DE).expect("valid spec");
+    assert_harness_resume(350, None, Some(&schedule));
+}
+
+// ---------------------------------------------------------------------
+// Golden checkpoint: the committed snapshot the CI leg diffs against.
+// ---------------------------------------------------------------------
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare a freshly produced checkpoint against a committed golden
+/// file *structurally* (header equality + field-by-field state diff),
+/// so a failure names drifted fields instead of dumping two JSON blobs.
+fn assert_matches_golden(name: &str, header: &CheckpointHeader, state: &NetworkState) {
+    let path = golden_path(name);
+    let text = ibsim_state::encode(header, state);
+    if std::env::var("IBSIM_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden checkpoint {} ({e}); run IBSIM_BLESS=1 cargo test to create it",
+            path.display()
+        )
+    });
+    let (golden_header, golden_state) =
+        ibsim_state::decode(&golden_text).expect("committed golden checkpoint decodes");
+    assert_eq!(
+        &golden_header, header,
+        "golden checkpoint header drifted ({name})"
+    );
+    let diffs = diff_values(&golden_state, &state.to_value(), 25);
+    assert!(
+        diffs.is_empty(),
+        "simulator state at the golden capture point drifted ({name}):\n{}",
+        ibsim_state::render_diff(&diffs)
+    );
+    // And the golden file still restores and runs on a live fabric.
+    let decoded = NetworkState::from_value(&golden_state).expect("golden state decodes");
+    let mut net = loaded_net(0x1B51_C0DE, true, true);
+    net.restore(&decoded).expect("golden state restores");
+    net.run_until(Time::from_us(700));
+}
+
+/// TEST_8-scale golden: runs on every `cargo test`.
+#[test]
+fn golden_tiny_checkpoint_is_stable() {
+    let mut net = loaded_net(0x1B51_C0DE, true, true);
+    net.run_until(Time::from_us(350));
+    let header = CheckpointHeader::new(
+        net.now().as_ps(),
+        net.events_processed(),
+        ibsim::checkpoint::digest(&net),
+    );
+    assert_matches_golden("tiny_test8.ckpt.json", &header, &net.checkpoint());
+}
+
+/// Quick-preset golden (72 nodes, capture at 3 ms in the CC-on hotspot
+/// cell): `#[ignore]`d for the debug-build loop; CI runs it in the
+/// release job alongside the determinism hash pin.
+#[test]
+#[ignore = "simulates 3 ms on 72 nodes; run with --release -- --ignored"]
+fn golden_quick_checkpoint_is_stable() {
+    let preset = Preset::Quick;
+    let topo = preset.topology();
+    let cfg = preset.net_config();
+    let mut net = Network::new(&topo, cfg);
+    let roles = RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: preset.num_hotspots(),
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    };
+    let _sc = Scenario::install_opts(roles, &mut net, PAPER_MSG_BYTES, true);
+    net.run_until(Time::from_ms(3));
+    let header = CheckpointHeader::new(
+        net.now().as_ps(),
+        net.events_processed(),
+        ibsim::checkpoint::digest(&net),
+    );
+    let path = golden_path("quick_cc_on.ckpt.json");
+    let text = ibsim_state::encode(&header, &net.checkpoint());
+    if std::env::var("IBSIM_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden checkpoint {} ({e}); run IBSIM_BLESS=1 cargo test --release -- --ignored to create it",
+            path.display()
+        )
+    });
+    let (golden_header, golden_state) =
+        ibsim_state::decode(&golden_text).expect("committed golden checkpoint decodes");
+    assert_eq!(golden_header, header, "quick golden header drifted");
+    let diffs = diff_values(&golden_state, &net.checkpoint().to_value(), 25);
+    assert!(
+        diffs.is_empty(),
+        "quick-preset state at 3 ms drifted from the golden checkpoint:\n{}",
+        ibsim_state::render_diff(&diffs)
+    );
+}
+
+// Unused-import guards for items only some cfg paths touch.
+#[allow(unused)]
+fn _digest_shape(d: TopoDigest) -> (u64, bool) {
+    (d.hcas, d.cc)
+}
+#[allow(unused)]
+const _MAGIC: &str = MAGIC;

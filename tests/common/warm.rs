@@ -1,0 +1,80 @@
+//! Shared warm-checkpoint fixture for the integration suites.
+//!
+//! The expensive part of most integration tests is simulating the
+//! warmup window — identical for every invocation at the same topology,
+//! seed and workload. This fixture caches that prefix as checkpoints
+//! under `target/warm-checkpoints/` (wiped by `cargo clean`, rebuilt on
+//! a miss) in two forms:
+//!
+//! * [`warm_until`] — library-level: fast-forward a freshly configured
+//!   `Network` to `t`, restoring the cached prefix when one matches
+//!   (topology digest + caller key + instant), else simulating and
+//!   saving it for next time;
+//! * [`enable_harness`] — process-wide: arm the `ibsim::checkpoint`
+//!   toggles so every `run_scenario_*` call in the test binary saves at
+//!   its warmup end on the first-ever invocation and resumes from the
+//!   cache afterwards (checkpoint file names already encode fabric +
+//!   workload, so distinct tests never collide).
+//!
+//! Round trips are byte-identical (pinned by `checkpoint_roundtrip.rs`),
+//! so cached runs produce exactly the numbers a cold run would — as
+//! long as the cache is *fresh*. A behaviour-changing edit makes cached
+//! prefixes stale; `rm -rf target/warm-checkpoints` (or `cargo clean`)
+//! after such edits. CI always starts cold.
+
+#![allow(dead_code)] // each test binary uses the half it needs
+
+use ibsim::prelude::*;
+use ibsim_state::CheckpointHeader;
+use serde::Deserialize;
+use std::path::PathBuf;
+use std::sync::Once;
+
+pub fn warm_dir() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("warm-checkpoints")
+}
+
+/// Fast-forward `net` (freshly built, classes installed, not yet run)
+/// to `t`, reusing the cached warm prefix for (`key`, fabric digest,
+/// `t`) when present. `key` must distinguish everything the digest does
+/// not — the installed traffic classes in particular.
+pub fn warm_until(net: &mut Network, key: &str, t: Time) {
+    let digest = ibsim::checkpoint::digest(net);
+    let label = format!("warm-{key}-{}", t.as_ps());
+    let path = warm_dir().join(ibsim::checkpoint::file_name(&digest, &label));
+
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok((header, sv)) = ibsim_state::decode(&text) {
+            if header.validate_topo(&digest).is_ok() && header.at_ps == t.as_ps() {
+                if let Ok(state) = ibsim_net::NetworkState::from_value(&sv) {
+                    if net.restore(&state).is_ok() {
+                        return;
+                    }
+                }
+            }
+        }
+        // Unreadable or mismatched cache entry: fall through and rebuild.
+    }
+    net.run_until(t);
+    std::fs::create_dir_all(warm_dir()).ok();
+    let header = CheckpointHeader::new(t.as_ps(), net.events_processed(), digest);
+    let _ = ibsim_state::save(&path, &header, &net.checkpoint());
+}
+
+static HARNESS: Once = Once::new();
+
+/// Arm the process-wide checkpoint toggles for this test binary: every
+/// `run_scenario_*` call saves its state at `warmup_us` into the shared
+/// cache and resumes from it when the file already exists. Call from
+/// each test that goes through the experiment runners; the underlying
+/// toggles are set once.
+pub fn enable_harness(warmup_us: u64) {
+    HARNESS.call_once(|| {
+        let dir = warm_dir();
+        ibsim::checkpoint::set_dir(&dir);
+        ibsim::checkpoint::force_resume(Some(dir));
+        ibsim::checkpoint::force_at(Some(Time::from_us(warmup_us)));
+    });
+}

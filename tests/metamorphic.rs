@@ -11,6 +11,9 @@
 
 use ibsim::prelude::*;
 
+#[path = "common/warm.rs"]
+mod warm;
+
 /// Below the congestion threshold the CC mechanism must be inert:
 /// nothing gets FECN-marked, so CC-on and CC-off runs deliver the
 /// identical per-node packet sets — not just similar throughput.
@@ -61,7 +64,8 @@ fn relabeling_nodes_permutes_results_preserves_aggregate() {
                 vec![TrafficClass::new(100, DestPattern::Fixed(hot), 4096)],
             );
         }
-        net.run_until(Time::from_ms(1));
+        let key = format!("relabel-{}{}{}-{hot}", senders[0], senders[1], senders[2]);
+        warm::warm_until(&mut net, &key, Time::from_ms(1));
         net.start_measurement();
         net.run_until(Time::from_ms(3));
         net.stop_measurement();
@@ -109,7 +113,8 @@ fn total_becn_loss_converges_to_cc_off_throughput() {
                 vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)],
             );
         }
-        net.run_until(Time::from_ms(1));
+        let key = format!("becnloss-cc{cc}-kill{kill_feedback}");
+        warm::warm_until(&mut net, &key, Time::from_ms(1));
         net.start_measurement();
         net.run_until(Time::from_ms(3));
         net.stop_measurement();
@@ -156,7 +161,7 @@ fn doubling_the_window_doubles_delivered_counts() {
             vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)],
         );
     }
-    net.run_until(Time::from_ms(1)); // reach drain-limited steady state
+    warm::warm_until(&mut net, "doubling-3to0", Time::from_ms(1)); // drain-limited steady state
     let d0 = net.total_delivered_packets();
     net.run_until(Time::from_ms(2));
     let d1 = net.total_delivered_packets();

@@ -146,6 +146,25 @@ macro_rules! impl_signed {
 }
 impl_signed!(i8, i16, i32, i64, isize);
 
+// 128-bit integers exceed the Value tree's numeric range; they ride as
+// decimal strings (exact, self-describing, JSON-safe).
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| Error::custom(format!("bad u128 literal {s:?}"))),
+            Value::U64(n) => Ok(*n as u128),
+            _ => Err(Error::custom(format!("expected u128, got {v:?}"))),
+        }
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)
