@@ -28,6 +28,9 @@ fn network_benches(c: &mut Criterion) {
     for (name, spec, sim_us) in [
         ("fat8_uniform_200us", FatTreeSpec::TEST_8, 200u64),
         ("fat72_uniform_100us", FatTreeSpec::QUICK_72, 100),
+        // Paper-scale preset: short window, but enough steady-state
+        // traffic that the 648-node simulation speed is a tracked number.
+        ("fat648_uniform_20us", FatTreeSpec::PAPER_648, 20),
     ] {
         let events = run_uniform(spec, sim_us, true);
         g.throughput(Throughput::Elements(events));

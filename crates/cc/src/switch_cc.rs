@@ -116,6 +116,18 @@ impl PortVlCongestion {
         self.reevaluate(has_credits);
     }
 
+    /// Fused forward-path hook: the marking decision for the packet
+    /// leaving *now* followed by the dequeue accounting, in one call.
+    /// Exactly equivalent to `mark_decision(bytes, params)` then
+    /// `on_dequeue(bytes as u64, has_credits_after)` — the mark is
+    /// decided against the pre-dequeue occupancy, as the hardware does.
+    #[inline]
+    pub fn on_forward(&mut self, bytes: u32, has_credits_after: bool, params: &CcParams) -> bool {
+        let fecn = self.mark_decision(bytes, params);
+        self.on_dequeue(bytes as u64, has_credits_after);
+        fecn
+    }
+
     #[inline]
     fn reevaluate(&mut self, has_credits: bool) {
         let Some(th) = self.threshold_bytes else {

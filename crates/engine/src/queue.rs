@@ -145,6 +145,14 @@ pub struct CalendarQueue<E> {
     misfits_since_retune: usize,
     /// Inserts required before the next adaptation is considered.
     cooldown: usize,
+    /// Reusable distance-sample buffer for [`Self::retune`], kept
+    /// across calls so steady-state retune checks stay allocation-free.
+    retune_scratch: Vec<u64>,
+    /// Reusable redistribution buffer for [`Self::retune`]: holds every
+    /// entry while the wheel geometry changes underneath it. Kept across
+    /// calls for the same reason as `retune_scratch` — once its capacity
+    /// reaches the population high-water mark, retunes stop allocating.
+    redist_scratch: Vec<Entry<E>>,
     /// Count of sub-threshold decay steps since the last retune; a slow
     /// drift check forces a retune every 16th one, so a persistent
     /// low-rate misfit trickle (geometry mildly wrong, never wrong
@@ -200,6 +208,8 @@ impl<E> CalendarQueue<E> {
             inserts_since_retune: 0,
             misfits_since_retune: 0,
             cooldown: 256,
+            retune_scratch: Vec::new(),
+            redist_scratch: Vec::new(),
             halvings: 0,
             seq: 0,
             now: Time::ZERO,
@@ -347,7 +357,8 @@ impl<E> CalendarQueue<E> {
         // churn vs far-out recovery timers) and reduces to the plain
         // span estimate when the population is unimodal.
         let step = (total / 4096).max(1);
-        let mut dists: Vec<u64> = Vec::with_capacity(total.min(4096) + 1);
+        let mut dists = std::mem::take(&mut self.retune_scratch);
+        dists.clear();
         let mut c = 0usize;
         for e in self.spill.iter() {
             if c.is_multiple_of(step) {
@@ -368,6 +379,7 @@ impl<E> CalendarQueue<E> {
         let i25 = (dists.len() / 4).min(dists.len() - 1);
         let (_, &mut d25, _) = dists.select_nth_unstable(i25);
         let spread = (d25 * 4).max(1);
+        self.retune_scratch = dists;
 
         // Width target: ~1 event per slot across the near-future bulk;
         // when events are denser than one per picosecond the width
@@ -404,14 +416,19 @@ impl<E> CalendarQueue<E> {
         }
         self.cooldown = total.max(256);
 
-        let mut all: Vec<Entry<E>> = Vec::with_capacity(total);
+        // Drain into the reusable buffer; `spill.drain()` keeps the
+        // heap's allocation alive (unlike take + into_vec, which would
+        // force it to regrow from nothing afterwards).
+        let mut all = std::mem::take(&mut self.redist_scratch);
+        all.clear();
+        all.reserve(total);
         for phys in 0..self.lens.len() {
             let base = phys << self.stride_shift;
             for k in 0..self.lens[phys] as usize {
                 all.push(self.slots[base + k].take().expect("occupied slot"));
             }
         }
-        all.extend(std::mem::take(&mut self.spill).into_vec());
+        all.extend(self.spill.drain());
 
         self.width_shift = width_shift;
         self.stride_shift = stride_shift;
@@ -426,11 +443,12 @@ impl<E> CalendarQueue<E> {
         let now_slot = self.now.0 >> width_shift;
         self.hor_slot = now_slot + n as u64;
         self.hint_slot = now_slot;
-        for e in all {
+        for e in all.drain(..) {
             if let Some(e) = self.try_bucket(e) {
                 self.spill.push(e);
             }
         }
+        self.redist_scratch = all;
     }
 
     /// Index of the bucket's `(time, seq)`-minimum entry within
@@ -565,6 +583,91 @@ impl<E> CalendarQueue<E> {
             Some(t) if t <= limit => self.pop(),
             _ => None,
         }
+    }
+
+    /// Drain *every* event due at the earliest pending timestamp `t`
+    /// (if `t ≤ limit`) into `out` in `(time, seq)` order, advancing the
+    /// clock to `t`. Returns `t`, or `None` if nothing is due.
+    ///
+    /// All same-`t` wheel entries share one bucket, so the whole batch
+    /// comes out of a single bucket scan plus a spill drain — one
+    /// occupied-slot search per *timestamp* instead of per event.
+    ///
+    /// Unlike [`pop`](Self::pop) this does **not** advance `processed`
+    /// or `last_pop`: the caller dispatches the batch one event at a
+    /// time and acknowledges each with
+    /// [`note_dispatched`](Self::note_dispatched), keeping every
+    /// per-event observable (audit cadence, event-order ledger)
+    /// byte-identical to the one-pop-per-event loop.
+    pub fn pop_batch_until(&mut self, limit: Time, out: &mut Vec<(u64, E)>) -> Option<Time> {
+        let t = self.peek_time()?;
+        if t > limit {
+            return None;
+        }
+        let start = out.len();
+        if self.bucketed > 0 {
+            let slot = (t.0 >> self.width_shift).max(self.base_slot());
+            if slot < self.hor_slot {
+                let phys = (slot & self.mask as u64) as usize;
+                let base = phys << self.stride_shift;
+                let orig = self.lens[phys] as usize;
+                let mut len = orig;
+                let mut i = base;
+                // Swap-remove every at-t entry; the swapped-in tail
+                // entry is re-examined before the cursor advances.
+                while i < base + len {
+                    if self.slots[i].as_ref().expect("occupied slot").at == t {
+                        let e = self.slots[i].take().expect("occupied slot");
+                        let last = base + len - 1;
+                        if i != last {
+                            self.slots[i] = self.slots[last].take();
+                        }
+                        len -= 1;
+                        out.push((e.seq, e.event));
+                    } else {
+                        i += 1;
+                    }
+                }
+                self.bucketed -= orig - len;
+                self.lens[phys] = len as u16;
+                if len == 0 && orig > 0 {
+                    self.unmark(phys);
+                }
+                // Everything below t's slot is already drained.
+                if slot > self.hint_slot {
+                    self.hint_slot = slot;
+                }
+            }
+        }
+        while self.spill.peek().is_some_and(|e| e.at == t) {
+            let e = self.spill.pop().expect("peeked entry");
+            out.push((e.seq, e.event));
+        }
+        debug_assert!(out.len() > start, "peeked timestamp yielded no events");
+        // Bucket order is arbitrary; restore the (time, seq) contract.
+        out[start..].sort_unstable_by_key(|&(seq, _)| seq);
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        let min_hor = (t.0 >> self.width_shift) + self.mask as u64 + 1;
+        if min_hor > self.hor_slot {
+            self.hor_slot = min_hor;
+        }
+        Some(t)
+    }
+
+    /// Record that one event handed out by
+    /// [`pop_batch_until`](Self::pop_batch_until) was dispatched:
+    /// advances `processed` and the `last_pop` key exactly as a plain
+    /// [`pop`](Self::pop) of that event would have.
+    #[inline]
+    pub fn note_dispatched(&mut self, at: Time, seq: u64) {
+        debug_assert!(
+            self.last_pop.is_none_or(|k| (at, seq) > k),
+            "dispatch order regressed: ({at:?}, {seq}) after {:?}",
+            self.last_pop
+        );
+        self.last_pop = Some((at, seq));
+        self.processed += 1;
     }
 
     /// Capture the queue's complete state (see [`QueueSnapshot`]).
@@ -749,6 +852,36 @@ impl<E> HeapQueue<E> {
             Some(t) if t <= limit => self.pop(),
             _ => None,
         }
+    }
+
+    /// Drain every event due at the earliest pending timestamp into
+    /// `out` (see [`CalendarQueue::pop_batch_until`]).
+    pub fn pop_batch_until(&mut self, limit: Time, out: &mut Vec<(u64, E)>) -> Option<Time> {
+        let t = self.peek_time()?;
+        if t > limit {
+            return None;
+        }
+        // Heap pops for a tied timestamp already come out seq-ascending.
+        while self.heap.peek().is_some_and(|e| e.at == t) {
+            let e = self.heap.pop().expect("peeked entry");
+            out.push((e.seq, e.event));
+        }
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        Some(t)
+    }
+
+    /// Record one dispatched batch event (see
+    /// [`CalendarQueue::note_dispatched`]).
+    #[inline]
+    pub fn note_dispatched(&mut self, at: Time, seq: u64) {
+        debug_assert!(
+            self.last_pop.is_none_or(|k| (at, seq) > k),
+            "dispatch order regressed: ({at:?}, {seq}) after {:?}",
+            self.last_pop
+        );
+        self.last_pop = Some((at, seq));
+        self.processed += 1;
     }
 
     /// Capture the queue's complete state (see [`QueueSnapshot`]).
@@ -992,6 +1125,70 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.now(), Time(5));
         assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn batch_pop_matches_single_pop_stream() {
+        // pop_batch_until + note_dispatched must reproduce the exact
+        // event stream, clock, processed count and last_pop key of the
+        // one-pop-per-event loop — on both implementations.
+        let mut single = CalendarQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut rng = crate::rng::Rng::new(13);
+        let mut t = 0u64;
+        for i in 0..4_000u64 {
+            // Heavy ties plus occasional far-future jumps.
+            t += match rng.next_below(10) {
+                0..=4 => 0,
+                5 => 150_000_000,
+                _ => rng.next_below(1_000),
+            };
+            single.schedule(Time(t), i);
+            cal.schedule(Time(t), i);
+            heap.schedule(Time(t), i);
+        }
+        let mut batch = Vec::new();
+        while let Some(bt) = cal.pop_batch_until(Time(u64::MAX), &mut batch) {
+            let mut hbatch = Vec::new();
+            let ht = heap.pop_batch_until(Time(u64::MAX), &mut hbatch);
+            assert_eq!(ht, Some(bt));
+            assert_eq!(batch, hbatch);
+            for &(seq, ev) in &batch {
+                assert_eq!(single.pop(), Some((bt, ev)));
+                cal.note_dispatched(bt, seq);
+                heap.note_dispatched(bt, seq);
+            }
+            assert_eq!(cal.now(), single.now());
+            assert_eq!(cal.last_pop(), single.last_pop());
+            assert_eq!(cal.processed(), single.processed());
+            assert_eq!(heap.processed(), single.processed());
+            batch.clear();
+        }
+        assert_eq!(single.pop(), None);
+        assert!(cal.is_empty() && heap.is_empty());
+    }
+
+    #[test]
+    fn batch_pop_respects_limit_and_interleaves_with_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(10), 0u32);
+        q.schedule(Time(10), 1);
+        q.schedule(Time(20), 2);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch_until(Time(15), &mut out), Some(Time(10)));
+        assert_eq!(out, vec![(0, 0), (1, 1)]);
+        for &(seq, _) in &out {
+            q.note_dispatched(Time(10), seq);
+        }
+        out.clear();
+        assert_eq!(q.pop_batch_until(Time(15), &mut out), None);
+        assert!(out.is_empty());
+        // New same-time events scheduled mid-batch pop in a later batch
+        // at the same timestamp, after everything already queued.
+        q.schedule(Time(20), 3);
+        assert_eq!(q.pop_batch_until(Time(25), &mut out), Some(Time(20)));
+        assert_eq!(out, vec![(2, 2), (3, 3)]);
     }
 
     #[test]

@@ -212,9 +212,7 @@ impl NetAudit {
             } as i64;
             for vl in 0..self.n_vls {
                 let sender = match ch.from {
-                    (Dev::Switch(s), port) => {
-                        net.switches[s as usize].ports[port as usize].credits[vl]
-                    }
+                    (Dev::Switch(s), port) => net.switches[s as usize].credits_of(port)[vl],
                     (Dev::Hca(h), _) => net.hcas[h as usize].credits[vl],
                 } as i64;
                 let wire = self.on_wire_blocks[id * self.n_vls + vl];
@@ -222,7 +220,7 @@ impl NetAudit {
                     (Dev::Switch(s), port) => {
                         net.switches[s as usize].buffered_blocks(port, vl as Vl)
                     }
-                    (Dev::Hca(h), _) => net.hcas[h as usize].sink_blocks(vl as Vl),
+                    (Dev::Hca(h), _) => net.hcas[h as usize].sink_blocks(vl as Vl, &net.pool),
                 } as i64;
                 let pending = self.pending_credit_blocks[id * self.n_vls + vl];
                 let total = sender + wire + buffered + pending;
@@ -263,12 +261,7 @@ impl NetAudit {
             .map(|h| h.delivered_packets + h.cnps_delivered)
             .sum();
         let on_wire: i64 = self.on_wire_packets.iter().sum();
-        let in_voq: usize = net
-            .switches
-            .iter()
-            .flat_map(|s| s.ports.iter())
-            .map(|p| p.queued_packets())
-            .sum();
+        let in_voq: usize = net.switches.iter().map(|s| s.queued_packets()).sum();
         let in_sink: usize = net.hcas.iter().map(|h| h.sink_depth()).sum();
         let sanctioned: u64 = self.sanctioned_dropped_packets.iter().sum();
         let accounted =
@@ -348,9 +341,10 @@ impl NetAudit {
     /// truth: bytes actually standing in the VoQs toward (port, VL).
     fn check_congestion_occupancy(&self, net: &Network, r: &mut AuditReport) {
         for (si, sw) in net.switches.iter().enumerate() {
-            for (o, port) in sw.ports.iter().enumerate() {
-                for (vl, cong) in port.cong.iter().enumerate() {
-                    let truth = sw.queued_bytes_toward(o as u16, vl as Vl);
+            for o in 0..sw.radix() {
+                for vl in 0..sw.n_vls() {
+                    let cong = sw.cong(o as u16, vl);
+                    let truth = sw.queued_bytes_toward(o as u16, vl);
                     if cong.queued_bytes() != truth {
                         r.violate(
                             LedgerKind::CongestionOccupancy,

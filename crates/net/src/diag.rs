@@ -92,14 +92,16 @@ impl NetworkSnapshot {
                 let mut per_port = Vec::with_capacity(sw.ports.len());
                 let mut cursors = Vec::with_capacity(sw.ports.len());
                 let mut credits = Vec::with_capacity(sw.ports.len());
-                for p in &sw.ports {
-                    queued += p.queued_packets();
-                    congested += usize::from(p.cong.iter().any(|c| c.in_congestion()));
-                    forwarded += p.forwarded_packets;
-                    stalled += p.xmit_wait;
-                    per_port.push(p.xmit_wait);
-                    cursors.push(p.vlarb_cursor());
-                    credits.push(p.credits.iter().map(|&c| c as u64).sum());
+                for p in 0..sw.radix() {
+                    queued += sw.queued_packets_at(p as u16);
+                    congested += usize::from(
+                        (0..sw.n_vls()).any(|vl| sw.cong(p as u16, vl).in_congestion()),
+                    );
+                    forwarded += sw.ports[p].forwarded_packets;
+                    stalled += sw.ports[p].xmit_wait;
+                    per_port.push(sw.ports[p].xmit_wait);
+                    cursors.push(sw.vlarb_cursor(p as u16));
+                    credits.push(sw.credits_of(p as u16).iter().map(|&c| c as u64).sum());
                 }
                 SwitchSnapshot {
                     switch: i,

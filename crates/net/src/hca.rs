@@ -3,6 +3,7 @@
 //! side of congestion control (`ccmgr`).
 
 use crate::gen::{ClassState, TrafficClass};
+use crate::pool::{PacketPool, PktHandle};
 use crate::types::{NodeId, Packet, PacketKind, Vl, CNP_BYTES};
 use ibsim_cc::{HcaCc, HcaCcState};
 use ibsim_engine::time::{Time, TimeDelta};
@@ -57,9 +58,10 @@ pub struct Hca {
     // ---- ingress --------------------------------------------------------
     /// Channel from the fabric into this HCA.
     pub in_channel: u32,
-    /// The packet currently being drained by the sink, if any.
-    draining: Option<Packet>,
-    sink_queue: VecDeque<Packet>,
+    /// The packet currently being drained by the sink, if any
+    /// (pool handle; resolved through the network's arena).
+    draining: Option<PktHandle>,
+    sink_queue: VecDeque<PktHandle>,
     /// Fault injection: a paused sink stops starting drains (the
     /// in-flight one finishes), so arriving packets pile up in the
     /// sink queue and backpressure the fabric through held credits.
@@ -105,7 +107,10 @@ impl Hca {
             seqs: vec![0; num_nodes as usize],
             in_channel: u32::MAX,
             draining: None,
-            sink_queue: VecDeque::new(),
+            // Pre-sized so steady-state receive stays allocation-free:
+            // 64 four-byte handles is past any observed high-water mark
+            // and costs 256 B per HCA.
+            sink_queue: VecDeque::with_capacity(64),
             sink_paused: false,
             last_seq: vec![0; num_nodes as usize],
             rx_by_src: vec![0; num_nodes as usize],
@@ -253,7 +258,8 @@ impl Hca {
     /// immediately queues a CNP back to its source ("the CA should as
     /// quickly as possible notify the source"). Returns true if the
     /// sink was idle and a drain should start.
-    pub fn receive(&mut self, pkt: Packet, cc_enabled: bool) -> bool {
+    pub fn receive(&mut self, h: PktHandle, pool: &PacketPool, cc_enabled: bool) -> bool {
+        let pkt = pool.get(h);
         if pkt.fecn && cc_enabled && !pkt.is_cnp() {
             self.cnp_queue.push_back(PendingCnp {
                 dst: pkt.src,
@@ -262,27 +268,32 @@ impl Hca {
             });
         }
         let idle = self.draining.is_none();
-        self.sink_queue.push_back(pkt);
+        self.sink_queue.push_back(h);
         idle
     }
 
     /// Begin draining the next queued packet, if the sink is idle.
     /// Returns the drain time of the packet now being drained.
-    pub fn start_drain(&mut self, cfg: &crate::config::NetConfig) -> Option<TimeDelta> {
+    pub fn start_drain(
+        &mut self,
+        cfg: &crate::config::NetConfig,
+        pool: &PacketPool,
+    ) -> Option<TimeDelta> {
         if self.draining.is_some() || self.sink_paused {
             return None;
         }
-        let pkt = self.sink_queue.pop_front()?;
-        let dt = cfg.drain_rate.tx_time(pkt.bytes as u64);
-        self.draining = Some(pkt);
+        let h = self.sink_queue.pop_front()?;
+        let dt = cfg.drain_rate.tx_time(pool.get(h).bytes as u64);
+        self.draining = Some(h);
         Some(dt)
     }
 
     /// The sink finished draining the current packet at `now`. Performs
-    /// delivery accounting (or BECN processing for CNPs) and returns the
-    /// drained packet for credit release.
-    pub fn finish_drain(&mut self, now: Time, cc_enabled: bool) -> Packet {
-        let pkt = self.draining.take().expect("finish_drain with idle sink");
+    /// delivery accounting (or BECN processing for CNPs), releases the
+    /// packet's pool slot, and returns the packet for credit release.
+    pub fn finish_drain(&mut self, now: Time, cc_enabled: bool, pool: &mut PacketPool) -> Packet {
+        let h = self.draining.take().expect("finish_drain with idle sink");
+        let pkt = pool.release(h);
         match pkt.kind {
             PacketKind::Cnp => {
                 self.cnps_delivered += 1;
@@ -353,10 +364,11 @@ impl Hca {
     /// Blocks of sink-side buffer still held on `vl`: everything queued
     /// or draining whose credits have not yet been returned upstream.
     /// One term of the per-(channel, VL) credit ledger.
-    pub fn sink_blocks(&self, vl: Vl) -> u64 {
+    pub fn sink_blocks(&self, vl: Vl, pool: &PacketPool) -> u64 {
         self.sink_queue
             .iter()
             .chain(self.draining.iter())
+            .map(|&h| pool.get(h))
             .filter(|p| p.vl == vl)
             .map(|p| p.blocks() as u64)
             .sum()
@@ -366,7 +378,7 @@ impl Hca {
     /// wiring and class configuration (rates, destinations, VL/SL) are
     /// rebuilt from the scenario; everything that evolves at runtime is
     /// here.
-    pub fn state(&self) -> HcaState {
+    pub fn state(&self, pool: &PacketPool) -> HcaState {
         HcaState {
             busy_until: self.busy_until,
             next_inject_at: self.next_inject_at,
@@ -377,8 +389,8 @@ impl Hca {
             rr_class: self.rr_class as u32,
             cc: self.cc.state(),
             seqs: self.seqs.clone(),
-            draining: self.draining.clone(),
-            sink_queue: self.sink_queue.iter().cloned().collect(),
+            draining: self.draining.map(|h| *pool.get(h)),
+            sink_queue: self.sink_queue.iter().map(|&h| *pool.get(h)).collect(),
             sink_paused: self.sink_paused,
             last_seq: self.last_seq.clone(),
             rx_by_src: self.rx_by_src.clone(),
@@ -397,7 +409,7 @@ impl Hca {
     /// Overwrite the HCA's mutable state (checkpoint restore). The
     /// traffic classes must already be installed by the scenario; their
     /// runtime cursors are overlaid onto the configured classes.
-    pub fn restore_state(&mut self, s: &HcaState) -> Result<(), String> {
+    pub fn restore_state(&mut self, s: &HcaState, pool: &mut PacketPool) -> Result<(), String> {
         if s.classes.len() != self.classes.len() {
             return Err(format!(
                 "hca {}: state has {} traffic classes, scenario installed {}",
@@ -424,8 +436,8 @@ impl Hca {
         self.rr_class = s.rr_class as usize;
         self.cc.restore_state(&s.cc);
         self.seqs = s.seqs.clone();
-        self.draining = s.draining.clone();
-        self.sink_queue = s.sink_queue.iter().cloned().collect();
+        self.draining = s.draining.map(|p| pool.alloc(p));
+        self.sink_queue = s.sink_queue.iter().map(|&p| pool.alloc(p)).collect();
         self.sink_paused = s.sink_paused;
         self.last_seq = s.last_seq.clone();
         self.rx_by_src = s.rx_by_src.clone();
@@ -567,7 +579,9 @@ mod tests {
             seq: 1,
             injected_at: Time::ZERO,
         };
-        h.receive(marked, true);
+        let mut pool = PacketPool::new();
+        let m = pool.alloc(marked);
+        h.receive(m, &pool, true);
         assert_eq!(h.pending_cnps(), 1);
         let t = Time::from_us(5);
         match h.next_packet(t, 16, &cfg, true) {
@@ -594,7 +608,9 @@ mod tests {
             seq: 1,
             injected_at: Time::ZERO,
         };
-        h.receive(marked, false);
+        let mut pool = PacketPool::new();
+        let m = pool.alloc(marked);
+        h.receive(m, &pool, false);
         assert_eq!(h.pending_cnps(), 0);
     }
 
@@ -631,11 +647,14 @@ mod tests {
             seq: 0,
             injected_at: Time::ZERO,
         };
-        assert!(h.receive(cnp, true));
-        let dt = h.start_drain(&cfg).unwrap();
+        let mut pool = PacketPool::new();
+        let hc = pool.alloc(cnp);
+        assert!(h.receive(hc, &pool, true));
+        let dt = h.start_drain(&cfg, &pool).unwrap();
         assert!(dt > TimeDelta::ZERO);
-        let pkt = h.finish_drain(Time::from_ns(100), true);
+        let pkt = h.finish_drain(Time::from_ns(100), true, &mut pool);
         assert!(pkt.is_cnp());
+        assert_eq!(pool.live(), 0, "drained packet released its slot");
         assert_eq!(h.cc.ccti(5), 1, "BECN raises CCTI toward CNP source");
         assert_eq!(h.delivered_packets, 0, "CNPs are not data deliveries");
     }
@@ -654,17 +673,21 @@ mod tests {
             seq,
             injected_at: Time::ZERO,
         };
-        assert!(h.receive(mk(1), true), "idle sink starts drain");
-        h.start_drain(&cfg).unwrap();
-        assert!(!h.receive(mk(2), true), "busy sink just queues");
+        let mut pool = PacketPool::new();
+        let p1 = pool.alloc(mk(1));
+        assert!(h.receive(p1, &pool, true), "idle sink starts drain");
+        h.start_drain(&cfg, &pool).unwrap();
+        let p2 = pool.alloc(mk(2));
+        assert!(!h.receive(p2, &pool, true), "busy sink just queues");
         assert_eq!(h.sink_depth(), 2);
-        assert!(h.start_drain(&cfg).is_none(), "one drain at a time");
-        h.finish_drain(Time::from_us(2), true);
+        assert!(h.start_drain(&cfg, &pool).is_none(), "one drain at a time");
+        h.finish_drain(Time::from_us(2), true, &mut pool);
         assert_eq!(h.delivered_packets, 1);
-        h.start_drain(&cfg).unwrap();
-        h.finish_drain(Time::from_us(4), true);
+        h.start_drain(&cfg, &pool).unwrap();
+        h.finish_drain(Time::from_us(4), true, &mut pool);
         assert_eq!(h.delivered_packets, 2);
         assert_eq!(h.sink_depth(), 0);
+        assert_eq!(pool.live(), 0);
     }
 
     #[test]
@@ -683,12 +706,15 @@ mod tests {
             seq,
             injected_at: Time::ZERO,
         };
-        h.receive(mk(2), true);
-        h.receive(mk(1), true);
-        h.start_drain(&cfg);
-        h.finish_drain(Time::from_us(1), true);
-        h.start_drain(&cfg);
-        h.finish_drain(Time::from_us(2), true); // seq 1 after 2: assert
+        let mut pool = PacketPool::new();
+        let p2 = pool.alloc(mk(2));
+        let p1 = pool.alloc(mk(1));
+        h.receive(p2, &pool, true);
+        h.receive(p1, &pool, true);
+        h.start_drain(&cfg, &pool);
+        h.finish_drain(Time::from_us(1), true, &mut pool);
+        h.start_drain(&cfg, &pool);
+        h.finish_drain(Time::from_us(2), true, &mut pool); // seq 1 after 2: assert
     }
 
     #[test]

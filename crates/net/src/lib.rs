@@ -25,6 +25,7 @@ pub mod diag;
 pub mod gen;
 pub mod hca;
 pub mod network;
+pub mod pool;
 pub mod state;
 pub mod switch;
 pub mod telemetry;
@@ -41,7 +42,8 @@ pub use diag::NetworkSnapshot;
 pub use gen::{ClassState, DestPattern, TrafficClass, PAPER_MSG_BYTES};
 pub use hca::{Hca, HcaState};
 pub use network::{Dev, Event, Network};
-pub use state::NetworkState;
+pub use pool::{PacketPool, PktHandle};
+pub use state::{EventState, NetworkState};
 pub use switch::{SwPortState, Switch, SwitchState};
 pub use telemetry::{
     FlightDump, FlightEvent, FlightKind, NetTelemetry, NetTelemetryState, TelemetryConfig,

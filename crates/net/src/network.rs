@@ -4,7 +4,8 @@ use crate::audit::NetAudit;
 use crate::config::NetConfig;
 use crate::gen::TrafficClass;
 use crate::hca::{Hca, NextSend};
-use crate::switch::{Desc, Grant, Switch};
+use crate::pool::{PacketPool, PktHandle};
+use crate::switch::{Grant, Switch};
 use crate::telemetry::{FlightKind, NetTelemetry, TelemetryConfig};
 use crate::trace::{TracePoint, Tracer};
 use crate::types::{NodeId, Packet, Vl};
@@ -14,7 +15,6 @@ use ibsim_faults::{AppliedEffect, FaultSchedule, FaultState, FaultStats, LinkSel
 use ibsim_engine::rng::Rng;
 use ibsim_engine::time::{Time, TimeDelta};
 use ibsim_topo::{Endpoint, Topology};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A device reference: switches and HCAs live in separate arenas.
@@ -34,13 +34,16 @@ pub struct Channel {
     pub reverse: u32,
 }
 
-/// Simulation events.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+/// Simulation events. Packet payloads are arena handles
+/// ([`PktHandle`]) into the network's [`PacketPool`], keeping every
+/// event `Copy` and 16 bytes or less; checkpoints persist the resolved
+/// packets via [`crate::state::EventState`] instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Event {
     /// Packet head reaches the receiving end of `ch` (switch ingress).
-    SwArrive { ch: u32, pkt: Packet },
+    SwArrive { ch: u32, h: PktHandle },
     /// Packet tail fully arrives at an HCA.
-    HcaArrive { ch: u32, pkt: Packet },
+    HcaArrive { ch: u32, h: PktHandle },
     /// Switch output transmitter frees up.
     SwTxDone { sw: u32, port: u16 },
     /// Explicit arbitration trigger (packet became ready).
@@ -71,6 +74,19 @@ pub enum Event {
 pub struct Network {
     pub cfg: NetConfig,
     pub(crate) queue: EventQueue<Event>,
+    /// Arena of every packet currently alive in the fabric (queued in a
+    /// VoQ or sink, or riding a scheduled event). Handle-indexed with
+    /// free-list recycling: the steady-state event loop allocates
+    /// nothing.
+    pub(crate) pool: PacketPool,
+    /// Reusable scratch for same-timestamp batch dispatch; empty
+    /// between `run_*` calls.
+    batch: Vec<(u64, Event)>,
+    /// Batch events extracted from the queue but not yet dispatched at
+    /// the instant a telemetry sample runs — logically still pending,
+    /// so [`Network::queue_depth`] adds them back and reads exactly
+    /// what the one-pop-at-a-time loop read. Zero outside sampling.
+    batch_undispatched: usize,
     pub switches: Vec<Switch>,
     pub hcas: Vec<Hca>,
     pub channels: Vec<Channel>,
@@ -171,8 +187,9 @@ impl Network {
             };
             match ch.from.0 {
                 Dev::Switch(s) => {
-                    let port = &mut switches[s as usize].ports[ch.from.1 as usize];
-                    port.credits = vec![credit; n_vls as usize];
+                    for vl in 0..n_vls {
+                        switches[s as usize].set_credit(ch.from.1, vl, credit);
+                    }
                 }
                 Dev::Hca(h) => {
                     hcas[h as usize].credits = vec![credit; n_vls as usize];
@@ -202,6 +219,9 @@ impl Network {
         Network {
             cfg,
             queue: EventQueue::with_capacity(pending_hint),
+            pool: PacketPool::with_capacity(pending_hint),
+            batch: Vec::with_capacity(64),
+            batch_undispatched: 0,
             switches,
             hcas,
             channels,
@@ -281,9 +301,10 @@ impl Network {
         self.telemetry.as_deref()
     }
 
-    /// Events currently scheduled on the calendar queue.
+    /// Events currently scheduled on the calendar queue (plus, during a
+    /// mid-batch telemetry sample, batch events not yet dispatched).
     pub fn queue_depth(&self) -> usize {
-        self.queue.pending()
+        self.queue.pending() + self.batch_undispatched
     }
 
     /// Append a structured event to the flight recorder; no-op when
@@ -526,22 +547,42 @@ impl Network {
 
     /// Run the event loop until simulated time `t` (events at exactly
     /// `t` are processed).
+    ///
+    /// Events are drained in same-timestamp batches: one queue
+    /// extraction per distinct time, with the telemetry boundary check
+    /// hoisted out of the per-event path. Dispatch order within a batch
+    /// is ascending sequence number, so the event stream — and with it
+    /// the audit cadence and every golden checkpoint — is byte-identical
+    /// to the one-pop-at-a-time loop. Events scheduled *during* a batch
+    /// for the same timestamp get higher sequence numbers and form the
+    /// next batch at that time.
     pub fn run_until(&mut self, t: Time) {
         if !self.primed {
             self.prime();
         }
-        while let Some((at, ev)) = self.queue.pop_until(t) {
-            // Sample every cadence boundary strictly before this event:
-            // state is constant in between, so the boundary reading is
-            // exact even though it is taken lazily.
-            if matches!(&self.telemetry, Some(tel) if tel.due_before(at)) {
-                self.telemetry_sample(at, false);
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(at) = self.queue.pop_batch_until(t, &mut batch) {
+            for i in 0..batch.len() {
+                let (seq, ev) = batch[i];
+                self.queue.note_dispatched(at, seq);
+                // Sample every cadence boundary strictly before this
+                // batch: state is constant in between, so the boundary
+                // reading is exact even though it is taken lazily. One
+                // check per batch — the first event consumes every due
+                // boundary.
+                if i == 0 && matches!(&self.telemetry, Some(tel) if tel.due_before(at)) {
+                    self.batch_undispatched = batch.len() - 1;
+                    self.telemetry_sample(at, false);
+                    self.batch_undispatched = 0;
+                }
+                self.dispatch(at, ev);
+                if self.audit_due() {
+                    self.audit_checked().raise();
+                }
             }
-            self.dispatch(at, ev);
-            if self.audit_due() {
-                self.audit_checked().raise();
-            }
+            batch.clear();
         }
+        self.batch = batch;
         // Boundaries up to and including `t` belong to this segment.
         if matches!(&self.telemetry, Some(tel) if tel.due_at(t)) {
             self.telemetry_sample(t, true);
@@ -573,28 +614,44 @@ impl Network {
             self.prime();
         }
         let mut last = self.queue.now();
-        while let Some((at, ev)) = self.queue.pop() {
-            let is_tick = matches!(ev, Event::CctiTick { .. });
-            if is_tick && self.workload_drained() {
-                // Drop the perpetual recovery timer once nothing can
-                // ever send again; the heap then drains and we stop.
-                continue;
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(at) = self.queue.pop_batch_until(Time::MAX, &mut batch) {
+            // Lazily sampled before the first event actually dispatched
+            // at `at` — a batch of nothing but dropped ticks samples
+            // nothing, exactly like the one-pop loop did.
+            let mut sampled = false;
+            for i in 0..batch.len() {
+                let (seq, ev) = batch[i];
+                self.queue.note_dispatched(at, seq);
+                let is_tick = matches!(ev, Event::CctiTick { .. });
+                if is_tick && self.workload_drained() {
+                    // Drop the perpetual recovery timer once nothing can
+                    // ever send again; the heap then drains and we stop.
+                    continue;
+                }
+                if !sampled {
+                    if matches!(&self.telemetry, Some(tel) if tel.due_before(at)) {
+                        self.batch_undispatched = batch.len() - 1 - i;
+                        self.telemetry_sample(at, false);
+                        self.batch_undispatched = 0;
+                    }
+                    sampled = true;
+                }
+                self.dispatch(at, ev);
+                if self.audit_due() {
+                    self.audit_checked().raise();
+                }
+                if !is_tick {
+                    last = at;
+                }
+                assert!(
+                    self.queue.processed() <= max_events,
+                    "run_to_idle exceeded {max_events} events; unbounded workload?"
+                );
             }
-            if matches!(&self.telemetry, Some(tel) if tel.due_before(at)) {
-                self.telemetry_sample(at, false);
-            }
-            self.dispatch(at, ev);
-            if self.audit_due() {
-                self.audit_checked().raise();
-            }
-            if !is_tick {
-                last = at;
-            }
-            assert!(
-                self.queue.processed() <= max_events,
-                "run_to_idle exceeded {max_events} events; unbounded workload?"
-            );
+            batch.clear();
         }
+        self.batch = batch;
         if matches!(&self.telemetry, Some(tel) if tel.due_at(last)) {
             self.telemetry_sample(last, true);
         }
@@ -612,7 +669,7 @@ impl Network {
                 Dev::Hca(_) => self.cfg.hca_ibuf_blocks,
             };
             let have: &[u32] = match ch.from {
-                (Dev::Switch(sw), port) => &self.switches[sw as usize].ports[port as usize].credits,
+                (Dev::Switch(sw), port) => self.switches[sw as usize].credits_of(port),
                 (Dev::Hca(h), _) => &self.hcas[h as usize].credits,
             };
             for (vl, &c) in have.iter().enumerate() {
@@ -728,8 +785,8 @@ impl Network {
 
     fn dispatch(&mut self, now: Time, ev: Event) {
         match ev {
-            Event::SwArrive { ch, pkt } => self.on_sw_arrive(now, ch, pkt),
-            Event::HcaArrive { ch, pkt } => self.on_hca_arrive(now, ch, pkt),
+            Event::SwArrive { ch, h } => self.on_sw_arrive(now, ch, h),
+            Event::HcaArrive { ch, h } => self.on_hca_arrive(now, ch, h),
             Event::SwTxDone { sw, port } | Event::SwTryArb { sw, port } => {
                 self.sw_arbitrate(now, sw, port)
             }
@@ -801,7 +858,7 @@ impl Network {
                 let hca = &mut self.hcas[h as usize];
                 hca.resume_sink();
                 // Restart the drain pipeline for whatever piled up.
-                if let Some(dt) = hca.start_drain(&self.cfg) {
+                if let Some(dt) = hca.start_drain(&self.cfg, &self.pool) {
                     self.queue.schedule(now + dt, Event::SinkDone { hca: h });
                 }
             }
@@ -827,11 +884,12 @@ impl Network {
 
     /// Packet head arrives at a switch ingress: route, buffer, and
     /// trigger arbitration once the routing pipeline is done.
-    fn on_sw_arrive(&mut self, now: Time, ch: u32, pkt: Packet) {
+    fn on_sw_arrive(&mut self, now: Time, ch: u32, h: PktHandle) {
         let channel = self.channels[ch as usize];
         let (Dev::Switch(si), in_port) = channel.to else {
             unreachable!("SwArrive on a non-switch endpoint")
         };
+        let pkt = *self.pool.get(h);
         self.trace(
             now,
             &pkt,
@@ -846,8 +904,8 @@ impl Network {
         let sw = &mut self.switches[si as usize];
         let out = sw.route(pkt.dst);
         let ready_at = now + self.cfg.switch_latency;
-        let busy_until = sw.ports[out as usize].busy_until;
-        sw.enqueue(in_port, out, Desc { pkt, ready_at });
+        let busy_until = sw.busy_until(out);
+        sw.enqueue(in_port, out, h, ready_at, &self.pool);
         // If the transmitter will still be busy at ready time, the
         // pending SwTxDone re-arbitrates; otherwise schedule a trigger.
         if busy_until <= ready_at {
@@ -867,10 +925,12 @@ impl Network {
                 now,
                 |b| link_bw.tx_time(b as u64),
                 self.cc_params.as_deref(),
+                &mut self.pool,
             )
         };
         let Some(Grant {
             pkt,
+            h,
             in_port,
             blocks,
             ser,
@@ -908,10 +968,10 @@ impl Network {
         match channel.to.0 {
             Dev::Switch(_) => self
                 .queue
-                .schedule(now + channel.delay, Event::SwArrive { ch: out_ch, pkt }),
+                .schedule(now + channel.delay, Event::SwArrive { ch: out_ch, h }),
             Dev::Hca(_) => self.queue.schedule(
                 now + channel.delay + ser,
-                Event::HcaArrive { ch: out_ch, pkt },
+                Event::HcaArrive { ch: out_ch, h },
             ),
         }
 
@@ -963,16 +1023,20 @@ impl Network {
                     a.note_send(out_ch, pkt.vl, pkt.blocks());
                 }
                 self.trace(now, &pkt, TracePoint::Inject);
+                // The packet enters the arena here and leaves it at the
+                // destination sink (or a sanctioned BECN drop).
+                let hp = self.pool.alloc(pkt);
                 let channel = self.channels[out_ch as usize];
                 self.queue
                     .schedule(busy_until, Event::HcaTxDone { hca: hi });
                 match channel.to.0 {
-                    Dev::Switch(_) => self
-                        .queue
-                        .schedule(now + channel.delay, Event::SwArrive { ch: out_ch, pkt }),
+                    Dev::Switch(_) => self.queue.schedule(
+                        now + channel.delay,
+                        Event::SwArrive { ch: out_ch, h: hp },
+                    ),
                     Dev::Hca(_) => self.queue.schedule(
                         now + channel.delay + ser,
-                        Event::HcaArrive { ch: out_ch, pkt },
+                        Event::HcaArrive { ch: out_ch, h: hp },
                     ),
                 }
             }
@@ -1000,12 +1064,13 @@ impl Network {
     }
 
     /// Packet tail fully arrived at an HCA.
-    fn on_hca_arrive(&mut self, now: Time, ch: u32, pkt: Packet) {
+    fn on_hca_arrive(&mut self, now: Time, ch: u32, h: PktHandle) {
         let channel = self.channels[ch as usize];
         let (Dev::Hca(hi), _) = channel.to else {
             unreachable!("HcaArrive on a non-HCA endpoint")
         };
         let cc_on = self.cc_params.is_some();
+        let pkt = *self.pool.get(h);
         self.trace(now, &pkt, TracePoint::Arrive);
         if let Some(a) = &mut self.audit {
             a.note_arrive(ch, pkt.vl, pkt.blocks());
@@ -1022,6 +1087,7 @@ impl Network {
                 None => false,
             };
             if dropped {
+                self.pool.release(h);
                 if let Some(a) = &mut self.audit {
                     a.note_sanctioned_drop(ch, pkt.vl, pkt.blocks());
                     a.note_credit_pending(ch, pkt.vl, pkt.blocks());
@@ -1053,11 +1119,11 @@ impl Network {
         let had_cnp_work;
         let start;
         {
-            let h = &mut self.hcas[hi as usize];
-            let before = h.pending_cnps();
-            h.receive(pkt, cc_on);
-            had_cnp_work = h.pending_cnps() > before;
-            start = h.start_drain(&self.cfg);
+            let hca = &mut self.hcas[hi as usize];
+            let before = hca.pending_cnps();
+            hca.receive(h, &self.pool, cc_on);
+            had_cnp_work = hca.pending_cnps() > before;
+            start = hca.start_drain(&self.cfg, &self.pool);
         }
         if let Some(dt) = start {
             self.queue.schedule(now + dt, Event::SinkDone { hca: hi });
@@ -1074,8 +1140,8 @@ impl Network {
         let cc_on = self.cc_params.is_some();
         let (pkt, next) = {
             let h = &mut self.hcas[hi as usize];
-            let pkt = h.finish_drain(now, cc_on);
-            let next = h.start_drain(&self.cfg);
+            let pkt = h.finish_drain(now, cc_on, &mut self.pool);
+            let next = h.start_drain(&self.cfg, &self.pool);
             (pkt, next)
         };
         self.trace(now, &pkt, TracePoint::Deliver);

@@ -23,13 +23,134 @@
 use crate::audit::NetAuditState;
 use crate::hca::HcaState;
 use crate::network::{Event, Network};
+use crate::pool::PacketPool;
 use crate::switch::SwitchState;
 use crate::telemetry::NetTelemetryState;
+use crate::types::{Packet, Vl};
 use ibsim_engine::queue::EventQueue;
 use ibsim_engine::time::Time;
 use ibsim_engine::QueueSnapshot;
 use ibsim_faults::FaultRuntimeState;
 use serde::{Deserialize, Serialize};
+
+/// A pending event as checkpoints persist it: the in-memory [`Event`]
+/// with its packet-pool handles resolved to full packets. The variant
+/// and field names mirror the pre-pool `Event` enum exactly, so golden
+/// checkpoints stay byte-stable across the arena refactor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventState {
+    SwArrive {
+        ch: u32,
+        pkt: Packet,
+    },
+    HcaArrive {
+        ch: u32,
+        pkt: Packet,
+    },
+    SwTxDone {
+        sw: u32,
+        port: u16,
+    },
+    SwTryArb {
+        sw: u32,
+        port: u16,
+    },
+    SwCredit {
+        sw: u32,
+        port: u16,
+        vl: Vl,
+        blocks: u32,
+    },
+    HcaTxDone {
+        hca: u32,
+    },
+    HcaTrySend {
+        hca: u32,
+    },
+    HcaCredit {
+        hca: u32,
+        vl: Vl,
+        blocks: u32,
+    },
+    SinkDone {
+        hca: u32,
+    },
+    CctiTick {
+        hca: u32,
+    },
+    Fault {
+        idx: u32,
+    },
+}
+
+impl EventState {
+    /// Resolve an in-memory event's handles against the live pool.
+    fn capture(ev: Event, pool: &PacketPool) -> EventState {
+        match ev {
+            Event::SwArrive { ch, h } => EventState::SwArrive {
+                ch,
+                pkt: *pool.get(h),
+            },
+            Event::HcaArrive { ch, h } => EventState::HcaArrive {
+                ch,
+                pkt: *pool.get(h),
+            },
+            Event::SwTxDone { sw, port } => EventState::SwTxDone { sw, port },
+            Event::SwTryArb { sw, port } => EventState::SwTryArb { sw, port },
+            Event::SwCredit {
+                sw,
+                port,
+                vl,
+                blocks,
+            } => EventState::SwCredit {
+                sw,
+                port,
+                vl,
+                blocks,
+            },
+            Event::HcaTxDone { hca } => EventState::HcaTxDone { hca },
+            Event::HcaTrySend { hca } => EventState::HcaTrySend { hca },
+            Event::HcaCredit { hca, vl, blocks } => EventState::HcaCredit { hca, vl, blocks },
+            Event::SinkDone { hca } => EventState::SinkDone { hca },
+            Event::CctiTick { hca } => EventState::CctiTick { hca },
+            Event::Fault { idx } => EventState::Fault { idx },
+        }
+    }
+
+    /// Re-allocate the carried packet (if any) into `pool` and rebuild
+    /// the in-memory event.
+    fn install(&self, pool: &mut PacketPool) -> Event {
+        match *self {
+            EventState::SwArrive { ch, pkt } => Event::SwArrive {
+                ch,
+                h: pool.alloc(pkt),
+            },
+            EventState::HcaArrive { ch, pkt } => Event::HcaArrive {
+                ch,
+                h: pool.alloc(pkt),
+            },
+            EventState::SwTxDone { sw, port } => Event::SwTxDone { sw, port },
+            EventState::SwTryArb { sw, port } => Event::SwTryArb { sw, port },
+            EventState::SwCredit {
+                sw,
+                port,
+                vl,
+                blocks,
+            } => Event::SwCredit {
+                sw,
+                port,
+                vl,
+                blocks,
+            },
+            EventState::HcaTxDone { hca } => Event::HcaTxDone { hca },
+            EventState::HcaTrySend { hca } => Event::HcaTrySend { hca },
+            EventState::HcaCredit { hca, vl, blocks } => Event::HcaCredit { hca, vl, blocks },
+            EventState::SinkDone { hca } => Event::SinkDone { hca },
+            EventState::CctiTick { hca } => Event::CctiTick { hca },
+            EventState::Fault { idx } => Event::Fault { idx },
+        }
+    }
+}
 
 /// Complete mutable state of a [`Network`] at one instant.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -42,7 +163,7 @@ pub struct NetworkState {
     /// `(time, seq)` key of the most recent pop (event-order audit).
     pub last_pop: Option<(Time, u64)>,
     /// Pending events with their original keys, sorted by `(time, seq)`.
-    pub events: Vec<(Time, u64, Event)>,
+    pub events: Vec<(Time, u64, EventState)>,
     pub switches: Vec<SwitchState>,
     pub hcas: Vec<HcaState>,
     pub primed: bool,
@@ -65,9 +186,13 @@ impl Network {
             queue_seq: snap.seq,
             events_processed: snap.processed,
             last_pop: snap.last_pop,
-            events: snap.entries,
-            switches: self.switches.iter().map(|s| s.state()).collect(),
-            hcas: self.hcas.iter().map(|h| h.state()).collect(),
+            events: snap
+                .entries
+                .iter()
+                .map(|&(t, q, ev)| (t, q, EventState::capture(ev, &self.pool)))
+                .collect(),
+            switches: self.switches.iter().map(|s| s.state(&self.pool)).collect(),
+            hcas: self.hcas.iter().map(|h| h.state(&self.pool)).collect(),
             primed: self.primed,
             measuring_since: self.measuring_since,
             measured_until: self.measured_until,
@@ -136,11 +261,16 @@ impl Network {
             _ => {}
         }
 
+        // Every live packet is re-allocated below — from the device
+        // states and the pending events alike — so the arena restarts
+        // empty. Handles are never persisted; they are an in-memory
+        // indexing scheme, not state.
+        self.pool.clear();
         for (sw, ss) in self.switches.iter_mut().zip(&s.switches) {
-            sw.restore_state(ss)?;
+            sw.restore_state(ss, &mut self.pool)?;
         }
         for (h, hs) in self.hcas.iter_mut().zip(&s.hcas) {
-            h.restore_state(hs)?;
+            h.restore_state(hs, &mut self.pool)?;
         }
         if let (Some(f), Some(fs)) = (self.faults.as_deref_mut(), &s.faults) {
             f.restore_runtime_state(fs)?;
@@ -156,7 +286,11 @@ impl Network {
             seq: s.queue_seq,
             processed: s.events_processed,
             last_pop: s.last_pop,
-            entries: s.events.clone(),
+            entries: s
+                .events
+                .iter()
+                .map(|(t, q, es)| (*t, *q, es.install(&mut self.pool)))
+                .collect(),
         });
         self.primed = s.primed;
         self.measuring_since = s.measuring_since;

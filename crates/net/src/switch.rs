@@ -5,45 +5,52 @@
 //!
 //! This plays the role of the `Switch`/`SwitchPort` compound modules
 //! (`ibuf`, `obuf`, `vlarb`, `ccmgr`) of the paper's OMNeT++ model.
+//!
+//! Hot state lives in flat structure-of-arrays form on the [`Switch`]
+//! itself — credits, transmitter deadlines, round-robin cursors,
+//! congestion detectors and the VoQs — indexed by `(port, vl)` so an
+//! arbitration round touches a handful of contiguous cache lines
+//! instead of hopping through per-port structs. Queued packets are
+//! [`PktHandle`]s into the network's arena pool; each queue entry
+//! caches the byte size so the candidate scan never dereferences the
+//! pool. Per-`(out, vl)` occupancy bitmasks let the input scan skip
+//! empty queues in O(popcount) instead of O(radix).
 
-use crate::types::{Packet, Vl};
+use crate::pool::{PacketPool, PktHandle};
+use crate::types::{blocks_for, Packet, Vl};
 use crate::vlarb::{VlArbState, VlArbTable, VlArbiter};
 use ibsim_cc::{CcParams, PortVlCongestion, PortVlCongestionState};
 use ibsim_engine::time::{Time, TimeDelta};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// A queued packet descriptor: eligible for arbitration at `ready_at`
-/// (head arrival + routing latency; cut-through, not store-and-forward).
+/// A queued packet descriptor as checkpoints persist it: the full
+/// packet plus its arbitration-eligibility instant (head arrival +
+/// routing latency; cut-through, not store-and-forward).
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct Desc {
     pub pkt: Packet,
     pub ready_at: Time,
 }
 
-/// Per-port state. The input side owns the virtual output queues; the
-/// output side owns the downstream credit counters, the transmitter and
-/// the congestion detectors.
+/// In-memory queue entry: pool handle plus the two fields the
+/// arbitration scan reads (16 bytes, vs a 40-byte inline packet).
+#[derive(Clone, Copy, Debug)]
+struct HDesc {
+    h: PktHandle,
+    bytes: u32,
+    ready_at: Time,
+}
+
+/// Per-port wiring and cold statistics. Everything the arbitration hot
+/// path touches lives in the flat arrays on [`Switch`] instead.
 #[derive(Clone, Debug)]
 pub struct SwPort {
     /// Channel arriving at this port (None if uncabled).
     pub in_channel: Option<u32>,
     /// Channel leaving this port (None if uncabled).
     pub out_channel: Option<u32>,
-    /// `voq[out_port * n_vls + vl]` — packets buffered at *this input*
-    /// waiting for `out_port`.
-    voq: Vec<VecDeque<Desc>>,
-    /// Transmitter occupied until this instant.
-    pub busy_until: Time,
-    /// Flow-control credits (64-byte blocks) available at the
-    /// downstream input buffer, per VL.
-    pub credits: Vec<u32>,
-    /// VL arbitration state for this port as an output.
-    varb: VlArbiter,
-    /// Per-VL round-robin cursor over input ports.
-    rr_in: Vec<usize>,
-    /// Congestion detectors, per VL, for this port as an *output*.
-    pub cong: Vec<PortVlCongestion>,
     // ---- statistics ----------------------------------------------------
     pub forwarded_packets: u64,
     pub forwarded_bytes: u64,
@@ -54,25 +61,14 @@ pub struct SwPort {
     pub xmit_wait: u64,
 }
 
-impl SwPort {
-    /// Packets standing in this *input* port's VoQs, over all outputs
-    /// and VLs. Summing this across ports equals summing
-    /// [`Switch::queued_toward`] across outputs — in one pass.
-    pub fn queued_packets(&self) -> usize {
-        self.voq.iter().map(|q| q.len()).sum()
-    }
-
-    /// The VL arbiter's round-robin cursors — the scheduling state that
-    /// decides who transmits next even when the queues look identical.
-    pub fn vlarb_cursor(&self) -> VlArbState {
-        self.varb.state()
-    }
-}
-
 /// The decision produced by one successful arbitration round.
 #[derive(Debug)]
 pub struct Grant {
+    /// Copy of the granted packet (FECN already applied — the pooled
+    /// packet carries the same mark).
     pub pkt: Packet,
+    /// Pool handle of the granted packet.
+    pub h: PktHandle,
     pub in_port: u16,
     pub blocks: u32,
     /// Serialisation time on the output link.
@@ -83,35 +79,73 @@ pub struct Grant {
 #[derive(Clone, Debug)]
 pub struct Switch {
     pub ports: Vec<SwPort>,
-    /// Linear forwarding table: destination LID → output port.
-    pub lft: Vec<u16>,
+    /// Linear forwarding table: destination LID → output port. Shared
+    /// with the topology (and anyone else) — routing state is
+    /// configuration, never mutated by the simulation.
+    pub lft: Arc<Vec<u16>>,
     n_vls: u8,
+    /// `voq[(out * n_vls + vl) * radix + in]` — packets buffered at
+    /// input `in` waiting for `(out, vl)`. Output-major so one
+    /// arbitration round's candidate scan walks contiguous queues.
+    voq: Vec<VecDeque<HDesc>>,
+    /// Occupancy bitmasks: bit `in` of word `(out*n_vls+vl)*mask_words
+    /// + in/64` set iff `voq[(out*n_vls+vl)*radix + in]` is non-empty.
+    waiting: Vec<u64>,
+    /// Words per `(out, vl)` mask row: `radix.div_ceil(64)` (1 for any
+    /// real InfiniBand radix).
+    mask_words: usize,
+    /// Downstream credits (64-byte blocks), `[port * n_vls + vl]`.
+    credits: Vec<u32>,
+    /// Transmitter occupied until this instant, `[port]`.
+    busy_until: Vec<Time>,
+    /// Per-VL round-robin cursor over input ports, `[port * n_vls + vl]`.
+    rr_in: Vec<usize>,
+    /// VL arbitration cursors, `[port]` (table shared via `Arc`).
+    varb: Vec<VlArbiter>,
+    /// Congestion detectors for each *output* `(port, vl)`,
+    /// `[port * n_vls + vl]`.
+    cong: Vec<PortVlCongestion>,
 }
 
 impl Switch {
-    pub fn new(radix: usize, n_vls: u8, lft: Vec<u16>) -> Self {
+    pub fn new(radix: usize, n_vls: u8, lft: impl Into<Arc<Vec<u16>>>) -> Self {
         Self::with_arbitration(radix, n_vls, lft, VlArbTable::round_robin(n_vls))
     }
 
     /// Build with an explicit VL arbitration table.
-    pub fn with_arbitration(radix: usize, n_vls: u8, lft: Vec<u16>, arb: VlArbTable) -> Self {
+    pub fn with_arbitration(
+        radix: usize,
+        n_vls: u8,
+        lft: impl Into<Arc<Vec<u16>>>,
+        arb: VlArbTable,
+    ) -> Self {
         let nv = n_vls as usize;
+        let arb = Arc::new(arb);
+        let mask_words = radix.div_ceil(64);
         let ports = (0..radix)
             .map(|_| SwPort {
                 in_channel: None,
                 out_channel: None,
-                voq: (0..radix * nv).map(|_| VecDeque::new()).collect(),
-                busy_until: Time::ZERO,
-                credits: vec![0; nv],
-                varb: VlArbiter::new(arb.clone()),
-                rr_in: vec![0; nv],
-                cong: (0..nv).map(|_| PortVlCongestion::disabled()).collect(),
                 forwarded_packets: 0,
                 forwarded_bytes: 0,
                 xmit_wait: 0,
             })
             .collect();
-        Switch { ports, lft, n_vls }
+        Switch {
+            ports,
+            lft: lft.into(),
+            n_vls,
+            voq: (0..radix * nv * radix).map(|_| VecDeque::new()).collect(),
+            waiting: vec![0; radix * nv * mask_words],
+            mask_words,
+            credits: vec![0; radix * nv],
+            busy_until: vec![Time::ZERO; radix],
+            rr_in: vec![0; radix * nv],
+            varb: (0..radix).map(|_| VlArbiter::new(arb.clone())).collect(),
+            cong: (0..radix * nv)
+                .map(|_| PortVlCongestion::disabled())
+                .collect(),
+        }
     }
 
     pub fn radix(&self) -> usize {
@@ -121,46 +155,125 @@ impl Switch {
         self.n_vls
     }
 
+    /// Flat `(port, vl)` index.
+    #[inline]
+    fn pv(&self, port: usize, vl: usize) -> usize {
+        port * self.n_vls as usize + vl
+    }
+
     /// Output port toward `dst`.
     #[inline]
     pub fn route(&self, dst: u32) -> u16 {
         self.lft[dst as usize]
     }
 
+    /// Downstream credits available on `(out_port, vl)`.
+    #[inline]
+    pub fn credit(&self, port: u16, vl: Vl) -> u32 {
+        self.credits[self.pv(port as usize, vl as usize)]
+    }
+
+    /// Per-VL credit counters of `port` (length `n_vls`).
+    #[inline]
+    pub fn credits_of(&self, port: u16) -> &[u32] {
+        let nv = self.n_vls as usize;
+        &self.credits[port as usize * nv..][..nv]
+    }
+
+    /// Overwrite one credit counter (test setup).
+    pub fn set_credit(&mut self, port: u16, vl: Vl, blocks: u32) {
+        let i = self.pv(port as usize, vl as usize);
+        self.credits[i] = blocks;
+    }
+
+    /// Instant `port`'s transmitter frees up.
+    #[inline]
+    pub fn busy_until(&self, port: u16) -> Time {
+        self.busy_until[port as usize]
+    }
+
+    /// Congestion detector for output `(port, vl)`.
+    #[inline]
+    pub fn cong(&self, port: u16, vl: Vl) -> &PortVlCongestion {
+        &self.cong[self.pv(port as usize, vl as usize)]
+    }
+
+    /// Mutable detector access (tests).
+    pub fn cong_mut(&mut self, port: u16, vl: Vl) -> &mut PortVlCongestion {
+        let i = self.pv(port as usize, vl as usize);
+        &mut self.cong[i]
+    }
+
+    /// The VL arbiter's round-robin cursors for `port` — the scheduling
+    /// state that decides who transmits next even when the queues look
+    /// identical.
+    pub fn vlarb_cursor(&self, port: u16) -> VlArbState {
+        self.varb[port as usize].state()
+    }
+
+    /// Packets standing in all of this switch's VoQs.
+    pub fn queued_packets(&self) -> usize {
+        self.voq.iter().map(|q| q.len()).sum()
+    }
+
+    /// Packets standing in input port `in_port`'s VoQs, over all
+    /// outputs and VLs.
+    pub fn queued_packets_at(&self, in_port: u16) -> usize {
+        let radix = self.ports.len();
+        let nv = self.n_vls as usize;
+        (0..radix * nv)
+            .map(|ov| self.voq[ov * radix + in_port as usize].len())
+            .sum()
+    }
+
     /// Install congestion detectors (CC on) for every cabled output.
     pub fn install_cc(&mut self, params: &CcParams, detect_capacity: u64, victim_ports: &[bool]) {
-        for (p, port) in self.ports.iter_mut().enumerate() {
-            if port.out_channel.is_some() {
+        let nv = self.n_vls as usize;
+        for p in 0..self.ports.len() {
+            if self.ports[p].out_channel.is_some() {
                 let vm = victim_ports.get(p).copied().unwrap_or(false);
-                port.cong = (0..self.n_vls as usize)
-                    .map(|_| PortVlCongestion::new(params, detect_capacity, vm))
-                    .collect();
+                for vl in 0..nv {
+                    self.cong[p * nv + vl] = PortVlCongestion::new(params, detect_capacity, vm);
+                }
             }
         }
     }
 
     /// Buffer an arriving packet (head at `now`) at `in_port`, routed to
     /// `out_port`; it becomes arbitrable at `ready_at`.
-    pub fn enqueue(&mut self, in_port: u16, out_port: u16, desc: Desc) {
-        let vl = desc.pkt.vl as usize;
-        let bytes = desc.pkt.bytes as u64;
-        let has_credits = self.ports[out_port as usize].credits[vl] > 0;
-        self.ports[out_port as usize].cong[vl].on_enqueue(bytes, has_credits);
-        let nv = self.n_vls as usize;
-        self.ports[in_port as usize].voq[out_port as usize * nv + vl].push_back(desc);
+    pub fn enqueue(
+        &mut self,
+        in_port: u16,
+        out_port: u16,
+        h: PktHandle,
+        ready_at: Time,
+        pool: &PacketPool,
+    ) {
+        let pkt = pool.get(h);
+        let (vl, bytes) = (pkt.vl as usize, pkt.bytes);
+        let ov = self.pv(out_port as usize, vl);
+        let has_credits = self.credits[ov] > 0;
+        self.cong[ov].on_enqueue(bytes as u64, has_credits);
+        let inp = in_port as usize;
+        self.voq[ov * self.ports.len() + inp].push_back(HDesc {
+            h,
+            bytes,
+            ready_at,
+        });
+        self.waiting[ov * self.mask_words + (inp >> 6)] |= 1u64 << (inp & 63);
     }
 
     /// Total packets queued toward `out_port` across all inputs and VLs
     /// (diagnostics).
     pub fn queued_toward(&self, out_port: u16) -> usize {
+        let radix = self.ports.len();
         let nv = self.n_vls as usize;
-        self.ports
-            .iter()
-            .map(|p| {
-                (0..nv)
-                    .map(|vl| p.voq[out_port as usize * nv + vl].len())
-                    .sum::<usize>()
+        (0..nv)
+            .flat_map(|vl| {
+                let ov = out_port as usize * nv + vl;
+                (0..radix).map(move |inp| (ov, inp))
             })
+            .map(|(ov, inp)| self.voq[ov * radix + inp].len())
             .sum()
     }
 
@@ -172,43 +285,79 @@ impl Switch {
     ///
     /// On success the packet is dequeued, credits are consumed, the
     /// transmitter is marked busy and — with CC installed — the FECN
-    /// marking decision is applied. The caller handles event scheduling.
+    /// marking decision is applied (to the pooled packet and the
+    /// returned copy alike). The caller handles event scheduling.
     pub fn arbitrate(
         &mut self,
         out_port: u16,
         now: Time,
         link_tx: impl Fn(u32) -> TimeDelta,
         cc: Option<&CcParams>,
+        pool: &mut PacketPool,
     ) -> Option<Grant> {
         let o = out_port as usize;
         let nv = self.n_vls as usize;
-        if self.ports[o].busy_until > now {
+        let radix = self.ports.len();
+        if self.busy_until[o] > now {
             return None;
         }
         // Per-VL candidate: the first input (round robin from this
         // VL's cursor) whose head packet is past its routing latency,
-        // with whole-packet downstream credits available.
+        // with whole-packet downstream credits available. The occupancy
+        // bitmask narrows the scan to non-empty queues.
         let mut sizes = [None::<u32>; 16];
         let mut cand_input = [0usize; 16];
         let mut credit_blocked = false;
-        let n_in = self.ports.len();
         for vl in 0..nv {
-            let start = self.ports[o].rr_in[vl];
-            for k in 0..n_in {
-                let inp = (start + k) % n_in;
-                if let Some(head) = self.ports[inp].voq[o * nv + vl].front() {
-                    if head.ready_at <= now {
-                        if self.ports[o].credits[vl] >= head.pkt.blocks() {
-                            sizes[vl] = Some(head.pkt.bytes);
-                            cand_input[vl] = inp;
-                            break;
+            let ov = o * nv + vl;
+            let start = self.rr_in[ov];
+            let credits = self.credits[ov];
+            let qbase = ov * radix;
+            let mut consider = |inp: usize,
+                                voq: &[VecDeque<HDesc>],
+                                credit_blocked: &mut bool|
+             -> bool {
+                let head = voq[qbase + inp].front().expect("occupancy bit set");
+                if head.ready_at <= now {
+                    if credits >= blocks_for(head.bytes) {
+                        sizes[vl] = Some(head.bytes);
+                        cand_input[vl] = inp;
+                        return true;
+                    }
+                    *credit_blocked = true;
+                }
+                false
+            };
+            if self.mask_words == 1 {
+                let mask = self.waiting[ov];
+                // Round-robin order: bits start.. then 0..start.
+                let rotate = !0u64 << (start & 63);
+                'scan: for mut m in [mask & rotate, mask & !rotate] {
+                    while m != 0 {
+                        let inp = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        if consider(inp, &self.voq, &mut credit_blocked) {
+                            break 'scan;
                         }
-                        credit_blocked = true;
+                    }
+                }
+            } else {
+                let wbase = ov * self.mask_words;
+                let mut inp = start;
+                for _ in 0..radix {
+                    let occupied =
+                        self.waiting[wbase + (inp >> 6)] & (1u64 << (inp & 63)) != 0;
+                    if occupied && consider(inp, &self.voq, &mut credit_blocked) {
+                        break;
+                    }
+                    inp += 1;
+                    if inp == radix {
+                        inp = 0;
                     }
                 }
             }
         }
-        let Some(vl) = self.ports[o].varb.pick_sized(&sizes[..nv]) else {
+        let Some(vl) = self.varb[o].pick_sized(&sizes[..nv]) else {
             if credit_blocked {
                 // Data stood ready but downstream buffer space alone
                 // held the output idle: one stalled arbitration round.
@@ -218,30 +367,42 @@ impl Switch {
         };
         let vl = vl as usize;
         let inp = cand_input[vl];
-        self.ports[o].rr_in[vl] = (inp + 1) % n_in;
-        let desc = self.ports[inp].voq[o * nv + vl].pop_front().unwrap();
-        let mut pkt = desc.pkt;
-        let blocks = pkt.blocks();
-        let bytes = pkt.bytes as u64;
-        let ser = link_tx(pkt.bytes);
-
-        let op = &mut self.ports[o];
-        // FECN decision uses the congestion state *including* this
-        // packet, then the occupancy drops.
-        if let Some(params) = cc {
-            if op.cong[vl].mark_decision(pkt.bytes, params) {
-                pkt.fecn = true;
-            }
+        let ov = o * nv + vl;
+        self.rr_in[ov] = (inp + 1) % radix;
+        let q = &mut self.voq[ov * radix + inp];
+        let hd = q.pop_front().expect("candidate head vanished");
+        if q.is_empty() {
+            self.waiting[ov * self.mask_words + (inp >> 6)] &= !(1u64 << (inp & 63));
         }
-        op.credits[vl] -= blocks;
-        let has_credits = op.credits[vl] > 0;
-        op.cong[vl].on_dequeue(bytes, has_credits);
-        op.busy_until = now + ser;
+        let blocks = blocks_for(hd.bytes);
+        let ser = link_tx(hd.bytes);
+
+        self.credits[ov] -= blocks;
+        let has_credits = self.credits[ov] > 0;
+        // FECN decision uses the congestion state *including* this
+        // packet, then the occupancy drops (fused hook).
+        let fecn = match cc {
+            Some(params) => self.cong[ov].on_forward(hd.bytes, has_credits, params),
+            None => {
+                self.cong[ov].on_dequeue(hd.bytes as u64, has_credits);
+                false
+            }
+        };
+        let pkt = {
+            let p = pool.get_mut(hd.h);
+            if fecn {
+                p.fecn = true;
+            }
+            *p
+        };
+        self.busy_until[o] = now + ser;
+        let op = &mut self.ports[o];
         op.forwarded_packets += 1;
-        op.forwarded_bytes += bytes;
+        op.forwarded_bytes += hd.bytes as u64;
 
         Some(Grant {
             pkt,
+            h: hd.h,
             in_port: inp as u16,
             blocks,
             ser,
@@ -252,14 +413,12 @@ impl Switch {
     /// (across all output VoQs) — the buffered term of the credit
     /// conservation ledger for the channel feeding that port.
     pub fn buffered_blocks(&self, in_port: u16, vl: Vl) -> u64 {
+        let radix = self.ports.len();
         let nv = self.n_vls as usize;
-        self.ports[in_port as usize]
-            .voq
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % nv == vl as usize)
-            .flat_map(|(_, q)| q.iter())
-            .map(|d| d.pkt.blocks() as u64)
+        (0..radix)
+            .map(|o| o * nv + vl as usize)
+            .flat_map(|ov| self.voq[ov * radix + in_port as usize].iter())
+            .map(|d| blocks_for(d.bytes) as u64)
             .sum()
     }
 
@@ -267,12 +426,11 @@ impl Switch {
     /// — the ground truth the congestion detector's occupancy counter
     /// shadows.
     pub fn queued_bytes_toward(&self, out_port: u16, vl: Vl) -> u64 {
-        let nv = self.n_vls as usize;
-        let idx = out_port as usize * nv + vl as usize;
-        self.ports
-            .iter()
-            .flat_map(|p| p.voq[idx].iter())
-            .map(|d| d.pkt.bytes as u64)
+        let radix = self.ports.len();
+        let ov = self.pv(out_port as usize, vl as usize);
+        (0..radix)
+            .flat_map(|inp| self.voq[ov * radix + inp].iter())
+            .map(|d| d.bytes as u64)
             .sum()
     }
 
@@ -284,88 +442,116 @@ impl Switch {
     /// Always compiled so integration tests can prove the oracle stays
     /// armed while sanctioned faults are active.
     pub fn leak_credits_for_test(&mut self, out_port: u16, vl: Vl, blocks: u32) {
-        let c = &mut self.ports[out_port as usize].credits[vl as usize];
-        *c = c.saturating_sub(blocks);
+        let i = self.pv(out_port as usize, vl as usize);
+        self.credits[i] = self.credits[i].saturating_sub(blocks);
     }
 
     /// Credit update from downstream for `out_port`.
     pub fn add_credits(&mut self, out_port: u16, vl: Vl, blocks: u32) {
-        let op = &mut self.ports[out_port as usize];
-        op.credits[vl as usize] += blocks;
-        let has = op.credits[vl as usize] > 0;
-        op.cong[vl as usize].on_credit_change(has);
+        let i = self.pv(out_port as usize, vl as usize);
+        self.credits[i] += blocks;
+        let has = self.credits[i] > 0;
+        self.cong[i].on_credit_change(has);
     }
 
     /// Sum of FECN marks applied by this switch.
     pub fn marked_packets(&self) -> u64 {
-        self.ports
-            .iter()
-            .flat_map(|p| p.cong.iter())
-            .map(|c| c.marked_packets())
-            .sum()
+        self.cong.iter().map(|c| c.marked_packets()).sum()
     }
 
-    /// Export the switch's complete mutable state (checkpoint). The
-    /// wiring (channels, LFT, arbitration tables, detector thresholds)
-    /// is configuration, rebuilt from the topology and `NetConfig`.
-    pub fn state(&self) -> SwitchState {
+    /// Export the switch's complete mutable state (checkpoint),
+    /// resolving queued handles to full packets. The wiring (channels,
+    /// LFT, arbitration tables, detector thresholds) is configuration,
+    /// rebuilt from the topology and `NetConfig`. The serialized shape
+    /// is identical to the pre-pool per-port layout, so golden
+    /// checkpoints stay byte-stable.
+    pub fn state(&self, pool: &PacketPool) -> SwitchState {
+        let radix = self.ports.len();
+        let nv = self.n_vls as usize;
         SwitchState {
-            ports: self
-                .ports
-                .iter()
+            ports: (0..radix)
                 .map(|p| SwPortState {
-                    voq: p.voq.iter().map(|q| q.iter().cloned().collect()).collect(),
-                    busy_until: p.busy_until,
-                    credits: p.credits.clone(),
-                    varb: p.varb.state(),
-                    rr_in: p.rr_in.iter().map(|&i| i as u32).collect(),
-                    cong: p.cong.iter().map(|c| c.state()).collect(),
-                    forwarded_packets: p.forwarded_packets,
-                    forwarded_bytes: p.forwarded_bytes,
-                    xmit_wait: p.xmit_wait,
+                    voq: (0..radix * nv)
+                        .map(|ov| {
+                            self.voq[ov * radix + p]
+                                .iter()
+                                .map(|d| Desc {
+                                    pkt: *pool.get(d.h),
+                                    ready_at: d.ready_at,
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                    busy_until: self.busy_until[p],
+                    credits: self.credits[p * nv..][..nv].to_vec(),
+                    varb: self.varb[p].state(),
+                    rr_in: self.rr_in[p * nv..][..nv]
+                        .iter()
+                        .map(|&i| i as u32)
+                        .collect(),
+                    cong: self.cong[p * nv..][..nv].iter().map(|c| c.state()).collect(),
+                    forwarded_packets: self.ports[p].forwarded_packets,
+                    forwarded_bytes: self.ports[p].forwarded_bytes,
+                    xmit_wait: self.ports[p].xmit_wait,
                 })
                 .collect(),
         }
     }
 
-    /// Overwrite the switch's mutable state (checkpoint restore).
-    /// Validates every per-port table width against this switch's
-    /// geometry before touching anything.
-    pub fn restore_state(&mut self, s: &SwitchState) -> Result<(), String> {
-        if s.ports.len() != self.ports.len() {
+    /// Overwrite the switch's mutable state (checkpoint restore),
+    /// allocating every queued packet into `pool`. Validates every
+    /// per-port table width against this switch's geometry before
+    /// touching anything.
+    pub fn restore_state(&mut self, s: &SwitchState, pool: &mut PacketPool) -> Result<(), String> {
+        let radix = self.ports.len();
+        let nv = self.n_vls as usize;
+        if s.ports.len() != radix {
             return Err(format!(
                 "switch state has {} ports, fabric has {}",
                 s.ports.len(),
-                self.ports.len()
+                radix
             ));
         }
-        let nv = self.n_vls as usize;
-        for (i, (port, ps)) in self.ports.iter().zip(&s.ports).enumerate() {
-            if ps.voq.len() != port.voq.len() {
+        for (i, ps) in s.ports.iter().enumerate() {
+            if ps.voq.len() != radix * nv {
                 return Err(format!(
                     "port {i}: state has {} VoQs, fabric has {}",
                     ps.voq.len(),
-                    port.voq.len()
+                    radix * nv
                 ));
             }
-            if ps.credits.len() != nv || ps.cong.len() != port.cong.len() || ps.rr_in.len() != nv {
+            if ps.credits.len() != nv || ps.cong.len() != nv || ps.rr_in.len() != nv {
                 return Err(format!("port {i}: per-VL table width mismatch"));
             }
         }
-        for (port, ps) in self.ports.iter_mut().zip(&s.ports) {
-            for (q, qs) in port.voq.iter_mut().zip(&ps.voq) {
-                *q = qs.iter().cloned().collect();
+        self.waiting.fill(0);
+        for (p, ps) in s.ports.iter().enumerate() {
+            for (ov, qs) in ps.voq.iter().enumerate() {
+                let q = &mut self.voq[ov * radix + p];
+                q.clear();
+                for d in qs {
+                    q.push_back(HDesc {
+                        h: pool.alloc(d.pkt),
+                        bytes: d.pkt.bytes,
+                        ready_at: d.ready_at,
+                    });
+                }
+                if !q.is_empty() {
+                    self.waiting[ov * self.mask_words + (p >> 6)] |= 1u64 << (p & 63);
+                }
             }
-            port.busy_until = ps.busy_until;
-            port.credits = ps.credits.clone();
-            port.varb.restore_state(&ps.varb);
-            port.rr_in = ps.rr_in.iter().map(|&i| i as usize).collect();
-            for (c, cs) in port.cong.iter_mut().zip(&ps.cong) {
-                c.restore_state(cs);
+            self.busy_until[p] = ps.busy_until;
+            self.credits[p * nv..][..nv].copy_from_slice(&ps.credits);
+            self.varb[p].restore_state(&ps.varb);
+            for (vl, &i) in ps.rr_in.iter().enumerate() {
+                self.rr_in[p * nv + vl] = i as usize;
             }
-            port.forwarded_packets = ps.forwarded_packets;
-            port.forwarded_bytes = ps.forwarded_bytes;
-            port.xmit_wait = ps.xmit_wait;
+            for (vl, cs) in ps.cong.iter().enumerate() {
+                self.cong[p * nv + vl].restore_state(cs);
+            }
+            self.ports[p].forwarded_packets = ps.forwarded_packets;
+            self.ports[p].forwarded_bytes = ps.forwarded_bytes;
+            self.ports[p].xmit_wait = ps.xmit_wait;
         }
         Ok(())
     }
@@ -416,20 +602,18 @@ mod tests {
         }
     }
 
-    fn desc(dst: u32, bytes: u32, ready: u64) -> Desc {
-        Desc {
-            pkt: pkt(dst, bytes),
-            ready_at: Time(ready),
-        }
+    fn enq(s: &mut Switch, pool: &mut PacketPool, inp: u16, out: u16, p: Packet, ready: u64) {
+        let h = pool.alloc(p);
+        s.enqueue(inp, out, h, Time(ready), pool);
     }
 
     /// 4-port switch, port i routes dst i, everything cabled.
     fn sw() -> Switch {
         let mut s = Switch::new(4, 1, vec![0, 1, 2, 3]);
-        for p in &mut s.ports {
-            p.in_channel = Some(0);
-            p.out_channel = Some(0);
-            p.credits = vec![128];
+        for p in 0..4 {
+            s.ports[p].in_channel = Some(0);
+            s.ports[p].out_channel = Some(0);
+            s.set_credit(p as u16, 0, 128);
         }
         s
     }
@@ -437,75 +621,84 @@ mod tests {
     #[test]
     fn grants_ready_packet() {
         let mut s = sw();
-        s.enqueue(0, 1, desc(1, 2048, 0));
+        let mut pool = PacketPool::new();
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 0);
         let g = s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None, &mut pool)
             .unwrap();
         assert_eq!(g.in_port, 0);
         assert_eq!(g.blocks, 32);
         assert_eq!(g.ser, TimeDelta(819_200));
-        assert_eq!(s.ports[1].credits[0], 128 - 32);
-        assert_eq!(s.ports[1].busy_until, Time(819_200));
+        assert_eq!(s.credit(1, 0), 128 - 32);
+        assert_eq!(s.busy_until(1), Time(819_200));
         assert_eq!(s.ports[1].forwarded_packets, 1);
+        assert_eq!(pool.get(g.h), &g.pkt);
     }
 
     #[test]
     fn respects_ready_time() {
         let mut s = sw();
-        s.enqueue(0, 1, desc(1, 2048, 500));
+        let mut pool = PacketPool::new();
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 500);
         assert!(s
-            .arbitrate(1, Time(499), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(499), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_none());
         assert!(s
-            .arbitrate(1, Time(500), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(500), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_some());
     }
 
     #[test]
     fn busy_output_grants_nothing() {
         let mut s = sw();
-        s.enqueue(0, 1, desc(1, 2048, 0));
-        s.enqueue(2, 1, desc(1, 2048, 0));
+        let mut pool = PacketPool::new();
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 0);
+        enq(&mut s, &mut pool, 2, 1, pkt(1, 2048), 0);
         assert!(s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_some());
         assert!(s
-            .arbitrate(1, Time(1), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(1), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_none());
         // After the transmitter frees up, the second packet goes.
         assert!(s
-            .arbitrate(1, Time(819_200), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(819_200), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_some());
     }
 
     #[test]
     fn requires_whole_packet_credits() {
         let mut s = sw();
-        s.ports[1].credits[0] = 31; // one block short of a 2 KiB packet
-        s.enqueue(0, 1, desc(1, 2048, 0));
+        let mut pool = PacketPool::new();
+        s.set_credit(1, 0, 31); // one block short of a 2 KiB packet
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 0);
         assert!(s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_none());
         s.add_credits(1, 0, 1);
         assert!(s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_some());
-        assert_eq!(s.ports[1].credits[0], 0);
+        assert_eq!(s.credit(1, 0), 0);
     }
 
     #[test]
     fn round_robin_across_inputs() {
         let mut s = sw();
+        let mut pool = PacketPool::new();
         for inp in [0u16, 2, 3] {
-            s.enqueue(inp, 1, desc(1, 64, 0));
-            s.enqueue(inp, 1, desc(1, 64, 0));
+            enq(&mut s, &mut pool, inp, 1, pkt(1, 64), 0);
+            enq(&mut s, &mut pool, inp, 1, pkt(1, 64), 0);
         }
         let mut order = vec![];
         let mut t = Time(0);
         for _ in 0..6 {
-            let g = s.arbitrate(1, t, |b| BW.tx_time(b as u64), None).unwrap();
+            let g = s
+                .arbitrate(1, t, |b| BW.tx_time(b as u64), None, &mut pool)
+                .unwrap();
             order.push(g.in_port);
-            t = s.ports[1].busy_until;
+            pool.release(g.h);
+            t = s.busy_until(1);
         }
         assert_eq!(order, [0, 2, 3, 0, 2, 3], "round robin interleaves inputs");
     }
@@ -513,17 +706,18 @@ mod tests {
     #[test]
     fn per_flow_fifo_within_queue() {
         let mut s = sw();
-        let mut d1 = desc(1, 64, 0);
-        d1.pkt.seq = 1;
-        let mut d2 = desc(1, 64, 0);
-        d2.pkt.seq = 2;
-        s.enqueue(0, 1, d1);
-        s.enqueue(0, 1, d2);
+        let mut pool = PacketPool::new();
+        let mut p1 = pkt(1, 64);
+        p1.seq = 1;
+        let mut p2 = pkt(1, 64);
+        p2.seq = 2;
+        enq(&mut s, &mut pool, 0, 1, p1, 0);
+        enq(&mut s, &mut pool, 0, 1, p2, 0);
         let g1 = s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None, &mut pool)
             .unwrap();
         let g2 = s
-            .arbitrate(1, s.ports[1].busy_until, |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, s.busy_until(1), |b| BW.tx_time(b as u64), None, &mut pool)
             .unwrap();
         assert_eq!((g1.pkt.seq, g2.pkt.seq), (1, 2));
     }
@@ -531,16 +725,18 @@ mod tests {
     #[test]
     fn fecn_marked_under_congestion() {
         let mut s = sw();
+        let mut pool = PacketPool::new();
         let params = CcParams::paper_table1();
         // Tiny detect capacity: threshold = max(16/16..) -> 1/16 of 1024 = 64.
         s.install_cc(&params, 1024, &[false; 4]);
         // Queue 2 packets toward port 1 -> 4096 bytes >> 64-byte threshold.
-        s.enqueue(0, 1, desc(1, 2048, 0));
-        s.enqueue(2, 1, desc(1, 2048, 0));
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 0);
+        enq(&mut s, &mut pool, 2, 1, pkt(1, 2048), 0);
         let g = s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), Some(&params))
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), Some(&params), &mut pool)
             .unwrap();
         assert!(g.pkt.fecn, "root port above threshold marks");
+        assert!(pool.get(g.h).fecn, "pooled packet carries the mark too");
         assert_eq!(s.marked_packets(), 1);
     }
 
@@ -549,13 +745,14 @@ mod tests {
         let params = CcParams::paper_table1();
         // Victim (no credits, no mask): no marking.
         let mut s = sw();
+        let mut pool = PacketPool::new();
         s.install_cc(&params, 1024, &[false; 4]);
-        s.ports[1].credits[0] = 32; // just enough to forward one packet
-        s.enqueue(0, 1, desc(1, 2048, 0));
-        s.enqueue(2, 1, desc(1, 2048, 0));
+        s.set_credit(1, 0, 32); // just enough to forward one packet
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 0);
+        enq(&mut s, &mut pool, 2, 1, pkt(1, 2048), 0);
         // After this grant the port has zero credits -> victim.
         let g = s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), Some(&params))
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), Some(&params), &mut pool)
             .unwrap();
         // First grant happened while credits were available: marks.
         assert!(g.pkt.fecn);
@@ -564,21 +761,23 @@ mod tests {
         assert!(s
             .arbitrate(
                 1,
-                s.ports[1].busy_until,
+                s.busy_until(1),
                 |b| BW.tx_time(b as u64),
-                Some(&params)
+                Some(&params),
+                &mut pool
             )
             .is_none());
 
         // Same situation with Victim_Mask: state is held even at zero
         // credits, so when credits return the packet is marked.
         let mut s = sw();
+        let mut pool = PacketPool::new();
         s.install_cc(&params, 1024, &[false, true, false, false]);
-        s.ports[1].credits[0] = 0;
-        s.enqueue(0, 1, desc(1, 2048, 0));
-        s.enqueue(2, 1, desc(1, 2048, 0));
+        s.set_credit(1, 0, 0);
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 0);
+        enq(&mut s, &mut pool, 2, 1, pkt(1, 2048), 0);
         assert!(
-            s.ports[1].cong[0].in_congestion(),
+            s.cong(1, 0).in_congestion(),
             "masked port congests without credits"
         );
     }
@@ -590,16 +789,17 @@ mod tests {
         let params = CcParams::paper_table1();
         s.install_cc(&params, 1024, &[false; 4]);
         // Port 3 is uncabled; its detector stays disabled.
-        s.ports[3].cong[0].on_enqueue(1 << 20, true);
-        assert!(!s.ports[3].cong[0].in_congestion());
+        s.cong_mut(3, 0).on_enqueue(1 << 20, true);
+        assert!(!s.cong(3, 0).in_congestion());
     }
 
     #[test]
     fn queued_toward_counts_all_inputs() {
         let mut s = sw();
-        s.enqueue(0, 2, desc(2, 64, 0));
-        s.enqueue(1, 2, desc(2, 64, 0));
-        s.enqueue(3, 2, desc(2, 64, 0));
+        let mut pool = PacketPool::new();
+        enq(&mut s, &mut pool, 0, 2, pkt(2, 64), 0);
+        enq(&mut s, &mut pool, 1, 2, pkt(2, 64), 0);
+        enq(&mut s, &mut pool, 3, 2, pkt(2, 64), 0);
         assert_eq!(s.queued_toward(2), 3);
         assert_eq!(s.queued_toward(1), 0);
     }
@@ -607,25 +807,26 @@ mod tests {
     #[test]
     fn xmit_wait_counts_credit_stalls_only() {
         let mut s = sw();
+        let mut pool = PacketPool::new();
         // Not yet ready: idle, not stalled.
-        s.enqueue(0, 1, desc(1, 2048, 900));
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 900);
         assert!(s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_none());
         assert_eq!(s.ports[1].xmit_wait, 0);
         // Ready but credit-starved: a stall per arbitration round.
-        s.ports[1].credits[0] = 0;
+        s.set_credit(1, 0, 0);
         assert!(s
-            .arbitrate(1, Time(900), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(900), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_none());
         assert!(s
-            .arbitrate(1, Time(901), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(901), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_none());
         assert_eq!(s.ports[1].xmit_wait, 2);
         // Credits restored: the grant proceeds and stalls stop counting.
         s.add_credits(1, 0, 128);
         assert!(s
-            .arbitrate(1, Time(902), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(902), |b| BW.tx_time(b as u64), None, &mut pool)
             .is_some());
         assert_eq!(s.ports[1].xmit_wait, 2);
     }
@@ -633,39 +834,61 @@ mod tests {
     #[test]
     fn audit_helpers_count_blocks_and_bytes() {
         let mut s = sw();
-        s.enqueue(0, 1, desc(1, 2048, 0)); // 32 blocks from input 0
-        s.enqueue(2, 1, desc(1, 64, 0)); // 1 block from input 2
+        let mut pool = PacketPool::new();
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 0); // 32 blocks from input 0
+        enq(&mut s, &mut pool, 2, 1, pkt(1, 64), 0); // 1 block from input 2
         assert_eq!(s.buffered_blocks(0, 0), 32);
         assert_eq!(s.buffered_blocks(2, 0), 1);
         assert_eq!(s.buffered_blocks(1, 0), 0);
         assert_eq!(s.queued_bytes_toward(1, 0), 2048 + 64);
         assert_eq!(s.queued_bytes_toward(2, 0), 0);
-        assert_eq!(s.ports[0].queued_packets(), 1);
-        let total: usize = s.ports.iter().map(|p| p.queued_packets()).sum();
+        assert_eq!(s.queued_packets_at(0), 1);
+        let total: usize = (0..4).map(|p| s.queued_packets_at(p)).sum();
         assert_eq!(total, s.queued_toward(1));
     }
 
     #[test]
     fn multi_vl_arbitration() {
         let mut s = Switch::new(2, 2, vec![0, 1]);
-        for p in &mut s.ports {
-            p.in_channel = Some(0);
-            p.out_channel = Some(0);
-            p.credits = vec![128, 128];
+        for p in 0..2u16 {
+            s.ports[p as usize].in_channel = Some(0);
+            s.ports[p as usize].out_channel = Some(0);
+            s.set_credit(p, 0, 128);
+            s.set_credit(p, 1, 128);
         }
-        let mut d0 = desc(1, 64, 0);
-        d0.pkt.vl = 0;
-        let mut d1 = desc(1, 64, 0);
-        d1.pkt.vl = 1;
-        s.enqueue(0, 1, d0);
-        s.enqueue(0, 1, d1);
+        let mut pool = PacketPool::new();
+        let mut p0 = pkt(1, 64);
+        p0.vl = 0;
+        let mut p1 = pkt(1, 64);
+        p1.vl = 1;
+        enq(&mut s, &mut pool, 0, 1, p0, 0);
+        enq(&mut s, &mut pool, 0, 1, p1, 0);
         let g1 = s
-            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, Time(0), |b| BW.tx_time(b as u64), None, &mut pool)
             .unwrap();
         let g2 = s
-            .arbitrate(1, s.ports[1].busy_until, |b| BW.tx_time(b as u64), None)
+            .arbitrate(1, s.busy_until(1), |b| BW.tx_time(b as u64), None, &mut pool)
             .unwrap();
         let vls = [g1.pkt.vl, g2.pkt.vl];
         assert!(vls.contains(&0) && vls.contains(&1), "both VLs served");
+    }
+
+    #[test]
+    fn state_roundtrip_via_pool() {
+        let mut s = sw();
+        let mut pool = PacketPool::new();
+        enq(&mut s, &mut pool, 0, 1, pkt(1, 2048), 7);
+        enq(&mut s, &mut pool, 2, 3, pkt(3, 64), 9);
+        let snap = s.state(&pool);
+        let mut s2 = sw();
+        let mut pool2 = PacketPool::new();
+        s2.restore_state(&snap, &mut pool2).unwrap();
+        assert_eq!(s2.state(&pool2), snap);
+        assert_eq!(pool2.live(), 2);
+        // The restored switch arbitrates identically.
+        let g = s2
+            .arbitrate(1, Time(7), |b| BW.tx_time(b as u64), None, &mut pool2)
+            .unwrap();
+        assert_eq!(g.pkt.bytes, 2048);
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::types::Vl;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One table entry: serve `vl` for up to `weight × 64` bytes before
 /// moving on. A weight of 0 parks the entry (spec behaviour).
@@ -90,10 +91,12 @@ impl VlArbTable {
     }
 }
 
-/// Runtime state of one port's arbiter.
+/// Runtime state of one port's arbiter. The table itself is shared
+/// configuration (one `Arc` per network, not one clone per port); only
+/// the round-robin cursors below are per-port hot state.
 #[derive(Clone, Debug)]
 pub struct VlArbiter {
-    table: VlArbTable,
+    table: Arc<VlArbTable>,
     /// Index + remaining byte credit of the active high entry.
     high_idx: usize,
     high_left: u32,
@@ -120,7 +123,8 @@ pub struct VlArbState {
 }
 
 impl VlArbiter {
-    pub fn new(table: VlArbTable) -> Self {
+    pub fn new(table: impl Into<Arc<VlArbTable>>) -> Self {
+        let table = table.into();
         let high_left = table
             .high
             .first()

@@ -138,6 +138,60 @@ proptest! {
     }
 }
 
+mod pool_props {
+    use ibsim_engine::time::Time;
+    use ibsim_net::{Packet, PacketKind, PacketPool, PktHandle};
+    use proptest::prelude::*;
+
+    fn pkt(seq: u32) -> Packet {
+        Packet {
+            src: 0,
+            dst: 1,
+            bytes: 2048,
+            vl: 0,
+            sl: 0,
+            kind: PacketKind::Data { class: 0 },
+            fecn: false,
+            seq,
+            injected_at: Time::ZERO,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Slot recycling never aliases a live packet: for an arbitrary
+        /// alloc/release sequence, every fresh handle is distinct from
+        /// every handle still live (the generation tag disambiguates
+        /// reused slots), and each live handle keeps resolving to the
+        /// exact packet it was allocated for.
+        #[test]
+        fn recycled_handles_never_alias_live_packets(ops in prop::collection::vec(any::<u8>(), 1..300)) {
+            let mut pool = PacketPool::new();
+            let mut live: Vec<(PktHandle, u32)> = Vec::new();
+            let mut next = 0u32;
+            for op in ops {
+                if op % 3 != 0 || live.is_empty() {
+                    let h = pool.alloc(pkt(next));
+                    prop_assert!(
+                        live.iter().all(|&(l, _)| l != h),
+                        "fresh handle {h:?} collides with a live one"
+                    );
+                    live.push((h, next));
+                    next += 1;
+                } else {
+                    let (h, seq) = live.swap_remove(op as usize % live.len());
+                    prop_assert_eq!(pool.release(h).seq, seq);
+                }
+                for &(h, seq) in &live {
+                    prop_assert_eq!(pool.get(h).seq, seq);
+                }
+                prop_assert_eq!(pool.live(), live.len());
+            }
+        }
+    }
+}
+
 mod vlarb_props {
     use ibsim_net::{VlArbTable, VlArbiter, VlWeight};
     use proptest::prelude::*;

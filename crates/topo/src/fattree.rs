@@ -124,14 +124,14 @@ impl FatTreeSpec {
                     lft.push((hpl + dst % spines) as u16); // up to spine dst%k
                 }
             }
-            lfts.push(lft);
+            lfts.push(lft.into());
         }
         for _s in 0..spines {
             let mut lft = Vec::with_capacity(hosts);
             for dst in 0..hosts {
                 lft.push(self.leaf_of(dst) as u16); // down to the dst's leaf
             }
-            lfts.push(lft);
+            lfts.push(lft.into());
         }
 
         Topology {

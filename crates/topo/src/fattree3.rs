@@ -170,7 +170,7 @@ impl FatTree3Spec {
                         lft.push((self.hosts_per_leaf + dst % self.leaf_up) as u16);
                     }
                 }
-                lfts.push(lft);
+                lfts.push(lft.into());
             }
         }
         // Mids.
@@ -184,7 +184,7 @@ impl FatTree3Spec {
                         lft.push((self.leafs_per_pod + (dst / self.leaf_up) % self.mid_up) as u16);
                     }
                 }
-                lfts.push(lft);
+                lfts.push(lft.into());
             }
         }
         // Tops.
@@ -193,7 +193,7 @@ impl FatTree3Spec {
             for dst in 0..hosts {
                 lft.push(self.pod_of(dst) as u16);
             }
-            lfts.push(lft);
+            lfts.push(lft.into());
         }
 
         Topology {

@@ -41,7 +41,10 @@ pub struct Topology {
     pub links: Vec<LinkSpec>,
     /// Linear forwarding tables: `lfts[switch][dst_hca]` is the output
     /// port toward end node `dst_hca` (`NO_ROUTE` if unreachable).
-    pub lfts: Vec<Vec<u16>>,
+    /// `Arc`ed so the network layer shares each table with its switch
+    /// instead of cloning it (a 648-HCA fabric has 54 × 648-entry
+    /// tables).
+    pub lfts: Vec<std::sync::Arc<Vec<u16>>>,
 }
 
 /// Prebuilt adjacency for fast repeated routing queries over a
@@ -246,7 +249,7 @@ mod tests {
                     b: Endpoint::SwitchPort { switch: 0, port: 1 },
                 },
             ],
-            lfts: vec![vec![0, 1]],
+            lfts: vec![vec![0, 1].into()],
         }
     }
 
@@ -276,28 +279,28 @@ mod tests {
     fn validate_rejects_unattached_hca() {
         let mut t = tiny();
         t.num_hcas = 3;
-        t.lfts = vec![vec![0, 1, NO_ROUTE]];
+        t.lfts = vec![vec![0, 1, NO_ROUTE].into()];
         assert!(t.validate().unwrap_err().contains("not attached"));
     }
 
     #[test]
     fn validate_rejects_bad_lft_port() {
         let mut t = tiny();
-        t.lfts = vec![vec![0, 9]];
+        t.lfts = vec![vec![0, 9].into()];
         assert!(t.validate().unwrap_err().contains("invalid port"));
     }
 
     #[test]
     fn validate_rejects_uncabled_lft_port() {
         let mut t = tiny();
-        t.lfts = vec![vec![0, 3]]; // port 3 exists but nothing cabled
+        t.lfts = vec![vec![0, 3].into()]; // port 3 exists but nothing cabled
         assert!(t.validate().unwrap_err().contains("uncabled"));
     }
 
     #[test]
     fn validate_rejects_misrouted_lft() {
         let mut t = tiny();
-        t.lfts = vec![vec![1, 0]]; // swapped: routes to the wrong HCA
+        t.lfts = vec![vec![1, 0].into()]; // swapped: routes to the wrong HCA
         assert!(t.validate().unwrap_err().contains("no route"));
     }
 
@@ -323,7 +326,7 @@ mod tests {
                 },
             ],
             // Switch 0 sends dst1 to switch 1; switch 1 sends dst1 back.
-            lfts: vec![vec![0, 1], vec![0, 1]],
+            lfts: vec![vec![0, 1].into(), vec![0, 1].into()],
         };
         assert_eq!(t.route_path(0, 1), None);
         assert!(t.validate().is_err());

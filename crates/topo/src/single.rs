@@ -15,13 +15,13 @@ pub fn single_switch(ports: usize, hosts: usize) -> Topology {
             b: Endpoint::SwitchPort { switch: 0, port: h },
         })
         .collect();
-    let lft = (0..hosts).map(|h| h as u16).collect();
+    let lft: Vec<u16> = (0..hosts).map(|h| h as u16).collect();
     Topology {
         name: format!("single-switch({ports}p, {hosts}h)"),
         num_hcas: hosts,
         switches: vec![SwitchSpec { ports }],
         links,
-        lfts: vec![lft],
+        lfts: vec![lft.into()],
     }
 }
 

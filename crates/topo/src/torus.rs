@@ -171,7 +171,7 @@ impl TorusSpec {
                     lft.push(self.next_port(x, y, dx, dy) as u16);
                 }
             }
-            lfts.push(lft);
+            lfts.push(lft.into());
         }
 
         Topology {

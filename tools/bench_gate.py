@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares a quick-mode bench run (JSONL lines from the vendored criterion
+harness, one ``{"name", "ns_per_iter", "ns_min", "ns_max", "elements",
+"elems_per_sec"}`` object per line) against the tracked floor rates in
+``BENCH_CORE.json`` (``quick_reference.benches``). Fails (exit 1) if any
+``network_throughput/*`` bench lands more than the allowed fraction
+below its floor.
+
+The floor is the minimum of several quick-mode runs on the reference
+machine, so the gate only fires when a run is slower than anything the
+bench has ever produced there — by default by a further 15 %.
+
+Usage:
+    python3 tools/bench_gate.py <run.jsonl> [--baseline BENCH_CORE.json]
+                                            [--allow 0.15]
+
+Environment:
+    BENCH_GATE_SKIP=1   skip the comparison (always exit 0); for
+                        known-slower hardware where absolute rates are
+                        not comparable to the reference machine.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("run", help="JSONL file from a BENCH_QUICK=1 run")
+    ap.add_argument("--baseline", default="BENCH_CORE.json")
+    ap.add_argument(
+        "--allow",
+        type=float,
+        default=0.15,
+        help="allowed fractional drop below the floor (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    if os.environ.get("BENCH_GATE_SKIP") == "1":
+        print("bench_gate: BENCH_GATE_SKIP=1, skipping comparison")
+        return 0
+
+    with open(args.baseline) as fh:
+        floors = json.load(fh).get("quick_reference", {}).get("benches", {})
+    if not floors:
+        print(f"bench_gate: no quick_reference.benches in {args.baseline}; nothing to gate")
+        return 0
+
+    measured = {}
+    with open(args.run) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            # Keep the best rate if the file holds several runs.
+            name = rec["name"]
+            measured[name] = max(measured.get(name, 0), rec["elems_per_sec"])
+
+    failures = []
+    for name, floor in sorted(floors.items()):
+        if not name.startswith("network_throughput/"):
+            continue
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from {args.run}")
+            continue
+        limit = floor * (1.0 - args.allow)
+        verdict = "FAIL" if got < limit else "ok"
+        print(
+            f"bench_gate: {name}: {got:>12,.0f} elem/s "
+            f"(floor {floor:,.0f}, limit {limit:,.0f}) {verdict}"
+        )
+        if got < limit:
+            failures.append(
+                f"{name}: {got:,.0f} elem/s is {1 - got / floor:.0%} below the "
+                f"tracked floor {floor:,.0f} (allowance {args.allow:.0%})"
+            )
+
+    if failures:
+        print("bench_gate: REGRESSION DETECTED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench_gate: all network_throughput benches within allowance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,9 @@
 //!
 //! Environment hooks tailor it to this repository's tooling:
 //! - `BENCH_JSON=<path>`: append one JSON line per benchmark
-//!   (`{"name", "ns_per_iter", "elements", "elems_per_sec"}`) — the CI
+//!   (`{"name", "ns_per_iter", "ns_min", "ns_max", "elements",
+//!   "elems_per_sec"}`, where `ns_per_iter` is the sample median and
+//!   `ns_min`/`ns_max` bound the per-sample spread) — the CI
 //!   bench-smoke job collects these into `BENCH_CORE.json`.
 //! - `BENCH_QUICK=1`: clamp sample counts to 3 and the warm-up to
 //!   200 ms for smoke runs.
@@ -103,7 +105,8 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     sample_size: usize,
     warmup_ns: u128,
-    median_ns: Option<f64>,
+    /// `(min, median, max)` over the per-iteration sample times.
+    stats_ns: Option<(f64, f64, f64)>,
 }
 
 impl Bencher {
@@ -138,7 +141,11 @@ impl Bencher {
             samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
         samples.sort_by(f64::total_cmp);
-        self.median_ns = Some(samples[samples.len() / 2]);
+        self.stats_ns = Some((
+            samples[0],
+            samples[samples.len() / 2],
+            samples[samples.len() - 1],
+        ));
     }
 }
 
@@ -151,10 +158,10 @@ fn run_one(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f
     let mut b = Bencher {
         sample_size: if quick { sample_size.min(3) } else { sample_size },
         warmup_ns: warmup_ms * 1_000_000,
-        median_ns: None,
+        stats_ns: None,
     };
     f(&mut b);
-    let Some(ns) = b.median_ns else {
+    let Some((ns_min, ns, ns_max)) = b.stats_ns else {
         eprintln!("{name}: bencher closure never called iter()");
         return;
     };
@@ -186,7 +193,7 @@ fn run_one(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f
             0.0
         };
         let line = format!(
-            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.1},\"elements\":{elements},\"elems_per_sec\":{elems_per_sec:.0}}}\n"
+            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.1},\"ns_min\":{ns_min:.1},\"ns_max\":{ns_max:.1},\"elements\":{elements},\"elems_per_sec\":{elems_per_sec:.0}}}\n"
         );
         if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
             let _ = fh.write_all(line.as_bytes());
