@@ -9,6 +9,13 @@ use ibsim_net::Network;
 /// Run uniform all-to-all on the given fat tree for `sim_us` and report
 /// how many events that took.
 fn run_uniform(spec: FatTreeSpec, sim_us: u64, cc: bool) -> u64 {
+    run_uniform_sharded(spec, sim_us, cc, 1)
+}
+
+/// As [`run_uniform`], on `shards` parallel shards (1 = the serial
+/// engine). Results are byte-identical across counts; only the
+/// wall-clock differs.
+fn run_uniform_sharded(spec: FatTreeSpec, sim_us: u64, cc: bool, shards: usize) -> u64 {
     let topo = spec.build();
     let cfg = ibsim_bench::bench_cfg(cc);
     let mut net = Network::new(&topo, cfg);
@@ -17,6 +24,9 @@ fn run_uniform(spec: FatTreeSpec, sim_us: u64, cc: bool) -> u64 {
             n,
             vec![TrafficClass::new(100, DestPattern::UniformExceptSelf, 4096)],
         );
+    }
+    if shards > 1 {
+        net.set_shards(&topo, shards);
     }
     net.run_until(Time::from_us(sim_us));
     net.events_processed()
@@ -44,6 +54,19 @@ fn network_benches(c: &mut Criterion) {
         g.throughput(Throughput::Elements(events));
         g.bench_function(format!("fat8_cc_{}", if cc { "on" } else { "off" }), |b| {
             b.iter(|| run_uniform(FatTreeSpec::TEST_8, 200, cc));
+        });
+    }
+    // The sharded executor at paper scale: byte-identical results, so
+    // the events/s ratio against fat648_uniform_20us *is* the parallel
+    // speedup. On a single hardware thread the executor runs its
+    // windows inline and these measure pure orchestration overhead
+    // (expect < 1×); with cores to spare the same numbers report the
+    // real scaling.
+    for shards in [2usize, 4] {
+        let events = run_uniform_sharded(FatTreeSpec::PAPER_648, 20, true, shards);
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(format!("fat648_uniform_20us_s{shards}"), |b| {
+            b.iter(|| run_uniform_sharded(FatTreeSpec::PAPER_648, 20, true, shards));
         });
     }
     g.finish();

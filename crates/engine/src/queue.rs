@@ -280,6 +280,26 @@ impl<E> CalendarQueue<E> {
         self.insert(Entry { at, seq, event });
     }
 
+    /// Schedule `event` at absolute time `at` under a caller-chosen
+    /// sequence key instead of the next counter value. The internal
+    /// counter is bumped past `seq` so later [`Self::schedule`] calls
+    /// never collide with an explicit key. This is how the sharded
+    /// executor re-labels provisional event keys with their
+    /// globally-agreed `(time, seq)` identity: tie order among
+    /// simultaneous events *is* the determinism contract, so the key —
+    /// not insertion order — must decide.
+    pub fn schedule_keyed(&mut self, at: Time, seq: u64, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        if seq >= self.seq {
+            self.seq = seq + 1;
+        }
+        self.insert(Entry { at, seq, event });
+    }
+
     fn insert(&mut self, e: Entry<E>) {
         self.inserts_since_retune += 1;
         if let Some(e) = self.try_bucket(e) {
@@ -814,6 +834,21 @@ impl<E> HeapQueue<E> {
         self.heap.push(Entry { at, seq, event });
     }
 
+    /// Schedule under a caller-chosen sequence key (see
+    /// [`CalendarQueue::schedule_keyed`]).
+    #[inline]
+    pub fn schedule_keyed(&mut self, at: Time, seq: u64, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        if seq >= self.seq {
+            self.seq = seq + 1;
+        }
+        self.heap.push(Entry { at, seq, event });
+    }
+
     /// Schedule `event` `delta` after now.
     #[inline]
     pub fn schedule_in(&mut self, delta: crate::time::TimeDelta, event: E) {
@@ -985,6 +1020,81 @@ mod tests {
         // The clock did not jump past the limit.
         assert_eq!(q.now(), Time(10));
     }
+
+    // The pop-order ledger (`now`, `last_pop`, `processed`) is the
+    // spine of the determinism audit and of the sharded executor's
+    // replay: a `pop_batch_until` that touches any of it on the empty
+    // or past-limit path would silently corrupt both. These macros pin
+    // the contract for each implementation separately — the EventQueue
+    // alias only compiles one of them into the simulator.
+    macro_rules! empty_batch_pop_is_inert {
+        ($name:ident, $q:ty) => {
+            #[test]
+            fn $name() {
+                let mut q = <$q>::new();
+                let mut out: Vec<(u64, &str)> = vec![(99, "sentinel")];
+
+                // Brand-new queue: nothing due, nothing mutated.
+                assert_eq!(q.pop_batch_until(Time(1_000), &mut out), None);
+                assert_eq!(out, vec![(99, "sentinel")], "out buffer touched");
+                assert_eq!(q.now(), Time::ZERO);
+                assert_eq!(q.last_pop(), None);
+                assert_eq!(q.processed(), 0);
+
+                // Head past the limit: same story, and the pending
+                // event survives untouched.
+                q.schedule(Time(500), "later");
+                assert_eq!(q.pop_batch_until(Time(400), &mut out), None);
+                assert_eq!(out, vec![(99, "sentinel")]);
+                assert_eq!((q.now(), q.last_pop(), q.processed()), (Time::ZERO, None, 0));
+                assert_eq!(q.pending(), 1);
+
+                // Drain it for real, acknowledge the dispatch, then
+                // exhaust: the ledger must hold the *last real* pop,
+                // not a stale or cleared value.
+                out.clear();
+                assert_eq!(q.pop_batch_until(Time(500), &mut out), Some(Time(500)));
+                assert_eq!(out.len(), 1);
+                let (seq, _) = out[0];
+                q.note_dispatched(Time(500), seq);
+                for limit in [Time(500), Time(600), Time::MAX] {
+                    assert_eq!(q.pop_batch_until(limit, &mut out), None);
+                    assert_eq!(q.now(), Time(500), "empty batch-pop moved the clock");
+                    assert_eq!(
+                        q.last_pop(),
+                        Some((Time(500), seq)),
+                        "empty batch-pop disturbed the pop-order ledger"
+                    );
+                    assert_eq!(q.processed(), 1);
+                }
+            }
+        };
+    }
+    empty_batch_pop_is_inert!(empty_batch_pop_is_inert_calendar, CalendarQueue<&'static str>);
+    empty_batch_pop_is_inert!(empty_batch_pop_is_inert_heap, HeapQueue<&'static str>);
+
+    macro_rules! schedule_keyed_orders_by_key {
+        ($name:ident, $q:ty) => {
+            #[test]
+            fn $name() {
+                let mut q = <$q>::new();
+                // Interleave counter-assigned and explicit keys; pops
+                // must follow (time, seq), not insertion order.
+                q.schedule(Time(10), "seq0");
+                q.schedule_keyed(Time(10), 7, "seq7");
+                q.schedule_keyed(Time(10), 3, "seq3");
+                // The counter was bumped past the largest explicit key.
+                q.schedule(Time(10), "seq8");
+                assert_eq!(q.pop(), Some((Time(10), "seq0")));
+                assert_eq!(q.pop(), Some((Time(10), "seq3")));
+                assert_eq!(q.pop(), Some((Time(10), "seq7")));
+                assert_eq!(q.pop(), Some((Time(10), "seq8")));
+                assert_eq!(q.pop(), None);
+            }
+        };
+    }
+    schedule_keyed_orders_by_key!(schedule_keyed_orders_by_key_calendar, CalendarQueue<&'static str>);
+    schedule_keyed_orders_by_key!(schedule_keyed_orders_by_key_heap, HeapQueue<&'static str>);
 
     #[test]
     #[should_panic]

@@ -23,6 +23,7 @@ struct Case {
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_shards();
     args.apply_telemetry();
     args.apply_checkpoint();
     let dur = RunDurations::new_ms(2, 4);

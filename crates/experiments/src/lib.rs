@@ -111,6 +111,22 @@ impl Args {
         }
     }
 
+    /// Apply the shared `--shards N` flag: run every simulation this
+    /// process performs on `N` parallel shards. Results are
+    /// byte-identical to the serial engine for every `N`; the flag only
+    /// buys wall-clock time. Without the flag the environment
+    /// (`IBSIM_SHARDS`) still decides, so the CI parallel leg covers
+    /// binaries launched without it.
+    pub fn apply_shards(&self) {
+        if let Some(n) = self.get("shards") {
+            let n: usize = n
+                .parse()
+                .unwrap_or_else(|_| panic!("--shards wants a count, got {n:?}"));
+            assert!(n > 0, "--shards must be positive");
+            ibsim::shards::force(n);
+        }
+    }
+
     /// Apply the shared checkpoint/resume flags:
     ///
     /// * `--checkpoint-at US` — save a full-state checkpoint of every

@@ -383,6 +383,63 @@ impl NetAudit {
         self.seen_processed = processed;
     }
 
+    /// The cadence schedule position — `(next_at, checks_run)`.
+    pub(crate) fn position(&self) -> (u64, u64) {
+        self.cadence.position()
+    }
+
+    /// Reposition the cadence schedule (sharded-executor merge: the
+    /// coordinator replays the cadence crossings event-exactly and
+    /// patches the position to what the serial loop would hold).
+    pub(crate) fn set_position(&mut self, next_at: u64, checks_run: u64) {
+        self.cadence.set_position(next_at, checks_run);
+    }
+
+    /// Overwrite the event-order watermarks (sharded-executor merge:
+    /// the serial loop's last pass recorded the pop key and processed
+    /// count *at the pass*, not at the end of the segment).
+    pub(crate) fn set_order_marks(&mut self, last_seen_pop: Option<(Time, u64)>, seen_processed: u64) {
+        self.last_seen_pop = last_seen_pop;
+        self.seen_processed = seen_processed;
+    }
+
+    /// Fold another audit's inline ledgers into this one. Every ledger
+    /// is a pure sum of O(1) per-event updates, so summing per-shard
+    /// ledgers reproduces exactly what the serial loop would have
+    /// accumulated. Deferred violations are appended in call order
+    /// (they only exist when the simulation is already broken).
+    pub(crate) fn absorb(&mut self, other: &NetAudit) {
+        debug_assert_eq!(self.on_wire_blocks.len(), other.on_wire_blocks.len());
+        for (a, b) in self.on_wire_blocks.iter_mut().zip(&other.on_wire_blocks) {
+            *a += b;
+        }
+        for (a, b) in self.on_wire_packets.iter_mut().zip(&other.on_wire_packets) {
+            *a += b;
+        }
+        for (a, b) in self
+            .pending_credit_blocks
+            .iter_mut()
+            .zip(&other.pending_credit_blocks)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .sanctioned_dropped_packets
+            .iter_mut()
+            .zip(&other.sanctioned_dropped_packets)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .sanctioned_dropped_blocks
+            .iter_mut()
+            .zip(&other.sanctioned_dropped_blocks)
+        {
+            *a += b;
+        }
+        self.deferred.extend(other.deferred.iter().cloned());
+    }
+
     /// Export the audit's runtime state (checkpoint): the inline
     /// ledgers, the pass cadence position and any deferred violations.
     /// Table geometry (channel count, VL count) is configuration.

@@ -406,6 +406,20 @@ impl Hca {
         }
     }
 
+    /// Move every pool handle this HCA holds from `src` to `dst`,
+    /// releasing the source slots. Used by the sharded executor when a
+    /// device migrates between the master network and its shard: the
+    /// device structure moves wholesale (`mem::swap`), but its packets
+    /// live in the owning network's arena and must follow it.
+    pub(crate) fn remap_pool(&mut self, src: &mut PacketPool, dst: &mut PacketPool) {
+        if let Some(h) = self.draining.take() {
+            self.draining = Some(dst.alloc(src.release(h)));
+        }
+        for h in self.sink_queue.iter_mut() {
+            *h = dst.alloc(src.release(*h));
+        }
+    }
+
     /// Overwrite the HCA's mutable state (checkpoint restore). The
     /// traffic classes must already be installed by the scenario; their
     /// runtime cursors are overlaid onto the configured classes.

@@ -26,6 +26,7 @@ pub mod gen;
 pub mod hca;
 pub mod network;
 pub mod pool;
+pub(crate) mod shard;
 pub mod state;
 pub mod switch;
 pub mod telemetry;

@@ -103,6 +103,14 @@ pub struct Network {
     pub(crate) primed: bool,
     pub(crate) measuring_since: Option<Time>,
     pub(crate) measured_until: Option<Time>,
+    /// Sharded-executor state on the *master* network (`None` runs
+    /// serial). Built by [`Network::set_shards`].
+    pub(crate) shards: Option<Box<crate::shard::ShardExec>>,
+    /// Event-routing overlay on a *shard* network: while present,
+    /// [`Network::sched`] diverts newly scheduled events to the window
+    /// queue or the cross-shard outbox instead of the main queue.
+    /// Always `None` on the master.
+    pub(crate) shard_route: Option<Box<crate::shard::ShardRoute>>,
 }
 
 impl Network {
@@ -233,6 +241,8 @@ impl Network {
             primed: false,
             measuring_since: None,
             measured_until: None,
+            shards: None,
+            shard_route: None,
         }
     }
 
@@ -493,7 +503,7 @@ impl Network {
     }
 
     /// Schedule the initial events. Call once, before `run_until`.
-    pub fn prime(&mut self) {
+    pub(crate) fn prime(&mut self) {
         assert!(!self.primed, "prime twice");
         self.primed = true;
         for i in 0..self.hcas.len() {
@@ -557,6 +567,16 @@ impl Network {
     /// for the same timestamp get higher sequence numbers and form the
     /// next batch at that time.
     pub fn run_until(&mut self, t: Time) {
+        // The sharded executor replicates the serial event stream
+        // exactly, but not the serial *observation* stream: telemetry
+        // samples and flow traces fire mid-window on whichever shard
+        // holds the device, in nondeterministic wall-clock order. Those
+        // instruments therefore pin the run to the serial loop. (BECN
+        // losses consume a shared fault RNG and force serial too; that
+        // is decided once in `set_shards`.)
+        if self.shards.is_some() && self.telemetry.is_none() && self.tracer.is_none() {
+            return self.run_until_sharded(t);
+        }
         if !self.primed {
             self.prime();
         }
@@ -783,7 +803,52 @@ impl Network {
 
     // ---- event dispatch ---------------------------------------------------
 
-    fn dispatch(&mut self, now: Time, ev: Event) {
+    /// Schedule an event from inside the dispatch path. Serial runs
+    /// (no [`crate::shard::ShardRoute`] overlay) go straight to the
+    /// main queue with the next counter sequence. On a shard, the
+    /// event instead gets a *provisional* key: locally-owned events
+    /// land in the window queue, foreign-owned events are serialized
+    /// into the outbox — and the barrier replay later renames every
+    /// provisional key to the exact `(time, seq)` the serial engine
+    /// would have assigned. Only dispatch-path sites route through
+    /// here; priming and configuration run serial by construction.
+    #[inline]
+    pub(crate) fn sched(&mut self, at: Time, ev: Event) {
+        match &mut self.shard_route {
+            None => self.queue.schedule(at, ev),
+            Some(r) => {
+                let prov = r.prov;
+                r.prov += 1;
+                let target = r.owner_of(&ev);
+                if target == r.my {
+                    if at > r.w_end {
+                        // Cannot pop before the barrier: skip the queue,
+                        // wait for relabelling as a plain list entry.
+                        r.later.push((at, prov, ev));
+                    } else {
+                        r.win
+                            .schedule_keyed(at, crate::shard::PROV_BASE + prov, ev);
+                    }
+                } else {
+                    let es = crate::state::EventState::capture(ev, &self.pool);
+                    r.outbox.push(crate::shard::OutMsg {
+                        at,
+                        prov,
+                        target,
+                        ev: es,
+                    });
+                    // The packet now travels by value; free its slot in
+                    // this shard's arena (cross-shard hand-off must
+                    // neither leak nor double-free).
+                    if let Event::SwArrive { h, .. } | Event::HcaArrive { h, .. } = ev {
+                        self.pool.release(h);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn dispatch(&mut self, now: Time, ev: Event) {
         match ev {
             Event::SwArrive { ch, h } => self.on_sw_arrive(now, ch, h),
             Event::HcaArrive { ch, h } => self.on_hca_arrive(now, ch, h),
@@ -830,8 +895,7 @@ impl Network {
                     // Per-HCA period: parameter drift may have re-tuned
                     // this adapter's CCTI_Timer away from the global one.
                     let period = self.hcas[hca as usize].cc.params().timer_period_ps();
-                    self.queue
-                        .schedule(now + TimeDelta(period), Event::CctiTick { hca });
+                    self.sched(now + TimeDelta(period), Event::CctiTick { hca });
                 }
             }
             Event::Fault { idx } => self.on_fault(now, idx),
@@ -859,7 +923,7 @@ impl Network {
                 hca.resume_sink();
                 // Restart the drain pipeline for whatever piled up.
                 if let Some(dt) = hca.start_drain(&self.cfg, &self.pool) {
-                    self.queue.schedule(now + dt, Event::SinkDone { hca: h });
+                    self.sched(now + dt, Event::SinkDone { hca: h });
                 }
             }
             AppliedEffect::Drift {
@@ -909,8 +973,7 @@ impl Network {
         // If the transmitter will still be busy at ready time, the
         // pending SwTxDone re-arbitrates; otherwise schedule a trigger.
         if busy_until <= ready_at {
-            self.queue
-                .schedule(ready_at, Event::SwTryArb { sw: si, port: out });
+            self.sched(ready_at, Event::SwTryArb { sw: si, port: out });
         }
     }
 
@@ -957,8 +1020,7 @@ impl Network {
         let vl = pkt.vl;
 
         // Transmitter done → next arbitration.
-        self.queue
-            .schedule(now + ser, Event::SwTxDone { sw: si, port });
+        self.sched(now + ser, Event::SwTxDone { sw: si, port });
 
         // Hand the packet to the peer.
         let out_ch = self.switches[si as usize].ports[port as usize]
@@ -966,10 +1028,8 @@ impl Network {
             .expect("grant on uncabled port");
         let channel = self.channels[out_ch as usize];
         match channel.to.0 {
-            Dev::Switch(_) => self
-                .queue
-                .schedule(now + channel.delay, Event::SwArrive { ch: out_ch, h }),
-            Dev::Hca(_) => self.queue.schedule(
+            Dev::Switch(_) => self.sched(now + channel.delay, Event::SwArrive { ch: out_ch, h }),
+            Dev::Hca(_) => self.sched(
                 now + channel.delay + ser,
                 Event::HcaArrive { ch: out_ch, h },
             ),
@@ -991,7 +1051,7 @@ impl Network {
             None => at,
         };
         match self.channels[in_ch as usize].from {
-            (Dev::Switch(up), up_port) => self.queue.schedule(
+            (Dev::Switch(up), up_port) => self.sched(
                 at,
                 Event::SwCredit {
                     sw: up,
@@ -1000,9 +1060,7 @@ impl Network {
                     blocks,
                 },
             ),
-            (Dev::Hca(h), _) => self
-                .queue
-                .schedule(at, Event::HcaCredit { hca: h, vl, blocks }),
+            (Dev::Hca(h), _) => self.sched(at, Event::HcaCredit { hca: h, vl, blocks }),
         }
     }
 
@@ -1027,14 +1085,12 @@ impl Network {
                 // destination sink (or a sanctioned BECN drop).
                 let hp = self.pool.alloc(pkt);
                 let channel = self.channels[out_ch as usize];
-                self.queue
-                    .schedule(busy_until, Event::HcaTxDone { hca: hi });
+                self.sched(busy_until, Event::HcaTxDone { hca: hi });
                 match channel.to.0 {
-                    Dev::Switch(_) => self.queue.schedule(
-                        now + channel.delay,
-                        Event::SwArrive { ch: out_ch, h: hp },
-                    ),
-                    Dev::Hca(_) => self.queue.schedule(
+                    Dev::Switch(_) => {
+                        self.sched(now + channel.delay, Event::SwArrive { ch: out_ch, h: hp })
+                    }
+                    Dev::Hca(_) => self.sched(
                         now + channel.delay + ser,
                         Event::HcaArrive { ch: out_ch, h: hp },
                     ),
@@ -1050,7 +1106,7 @@ impl Network {
         let h = &mut self.hcas[hi as usize];
         if t < h.wakeup_at && t != Time::MAX {
             h.wakeup_at = t;
-            self.queue.schedule(t, Event::HcaTrySend { hca: hi });
+            self.sched(t, Event::HcaTrySend { hca: hi });
         }
     }
 
@@ -1102,7 +1158,7 @@ impl Network {
                     None => at,
                 };
                 match self.channels[ch as usize].from {
-                    (Dev::Switch(up), up_port) => self.queue.schedule(
+                    (Dev::Switch(up), up_port) => self.sched(
                         at,
                         Event::SwCredit {
                             sw: up,
@@ -1126,7 +1182,7 @@ impl Network {
             start = hca.start_drain(&self.cfg, &self.pool);
         }
         if let Some(dt) = start {
-            self.queue.schedule(now + dt, Event::SinkDone { hca: hi });
+            self.sched(now + dt, Event::SinkDone { hca: hi });
         }
         if had_cnp_work {
             // CNPs preempt the injector queue; try to send immediately.
@@ -1154,7 +1210,7 @@ impl Network {
             );
         }
         if let Some(dt) = next {
-            self.queue.schedule(now + dt, Event::SinkDone { hca: hi });
+            self.sched(now + dt, Event::SinkDone { hca: hi });
         }
         // Credits back to the upstream switch output.
         let in_ch = self.hcas[hi as usize].in_channel;
@@ -1171,7 +1227,7 @@ impl Network {
             None => at,
         };
         match self.channels[in_ch as usize].from {
-            (Dev::Switch(up), up_port) => self.queue.schedule(
+            (Dev::Switch(up), up_port) => self.sched(
                 at,
                 Event::SwCredit {
                     sw: up,

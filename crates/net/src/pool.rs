@@ -90,9 +90,16 @@ impl PacketPool {
         }
     }
 
+    /// Generation-tag aliasing check. A `debug_assert` in normal
+    /// builds; the `pool-paranoid` feature compiles it into release
+    /// builds too, so the CI equivalence legs (which run the sharded
+    /// executor's cross-shard packet hand-off at `--release` speed)
+    /// still trip on a stale handle instead of silently reading the
+    /// slot's next tenant.
     #[inline]
     fn check(&self, h: PktHandle) {
-        debug_assert_eq!(
+        #[cfg(any(debug_assertions, feature = "pool-paranoid"))]
+        assert_eq!(
             self.gens[h.slot()],
             h.generation(),
             "stale packet handle: slot {} is generation {}, handle is {}",
@@ -100,6 +107,8 @@ impl PacketPool {
             self.gens[h.slot()],
             h.generation()
         );
+        #[cfg(not(any(debug_assertions, feature = "pool-paranoid")))]
+        let _ = h;
     }
 
     #[inline]
@@ -179,7 +188,7 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "pool-paranoid"))]
     #[should_panic(expected = "stale packet handle")]
     fn stale_handle_trips_in_debug() {
         let mut p = PacketPool::new();

@@ -85,7 +85,10 @@ pub enum EventState {
 
 impl EventState {
     /// Resolve an in-memory event's handles against the live pool.
-    fn capture(ev: Event, pool: &PacketPool) -> EventState {
+    /// Also the sharded executor's cross-shard hand-off format: a
+    /// pool-independent descriptor that installs into the target
+    /// shard's own arena.
+    pub(crate) fn capture(ev: Event, pool: &PacketPool) -> EventState {
         match ev {
             Event::SwArrive { ch, h } => EventState::SwArrive {
                 ch,
@@ -119,7 +122,7 @@ impl EventState {
 
     /// Re-allocate the carried packet (if any) into `pool` and rebuild
     /// the in-memory event.
-    fn install(&self, pool: &mut PacketPool) -> Event {
+    pub(crate) fn install(&self, pool: &mut PacketPool) -> Event {
         match *self {
             EventState::SwArrive { ch, pkt } => Event::SwArrive {
                 ch,

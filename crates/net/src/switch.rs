@@ -459,6 +459,18 @@ impl Switch {
         self.cong.iter().map(|c| c.marked_packets()).sum()
     }
 
+    /// Move every queued packet handle from `src` to `dst`, releasing
+    /// the source slots (see `Hca::remap_pool`): device migration
+    /// between the master network and a shard carries the VoQ contents
+    /// into the destination's arena.
+    pub(crate) fn remap_pool(&mut self, src: &mut PacketPool, dst: &mut PacketPool) {
+        for q in self.voq.iter_mut() {
+            for d in q.iter_mut() {
+                d.h = dst.alloc(src.release(d.h));
+            }
+        }
+    }
+
     /// Export the switch's complete mutable state (checkpoint),
     /// resolving queued handles to full packets. The wiring (channels,
     /// LFT, arbitration tables, detector thresholds) is configuration,

@@ -19,11 +19,13 @@
 pub mod fattree;
 pub mod fattree3;
 pub mod graph;
+pub mod partition;
 pub mod single;
 pub mod torus;
 
 pub use fattree::FatTreeSpec;
 pub use fattree3::FatTree3Spec;
 pub use graph::{Endpoint, LinkSpec, RoutingIndex, SwitchSpec, Topology, NO_ROUTE};
+pub use partition::{partition_leaf_groups, Partition};
 pub use single::single_switch;
 pub use torus::TorusSpec;

@@ -159,6 +159,7 @@ pub fn run_scenario_faults(
     if let Some(schedule) = faults {
         net.install_faults(schedule.clone());
     }
+    crate::shards::arm(&mut net, topo);
     let mut sc = Scenario::install_opts(
         roles,
         &mut net,

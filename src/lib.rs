@@ -50,6 +50,7 @@ pub mod figures;
 pub mod preset;
 pub mod replicas;
 pub mod report;
+pub mod shards;
 pub mod sweep;
 pub mod telemetry;
 

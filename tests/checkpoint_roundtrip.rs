@@ -404,6 +404,28 @@ fn golden_tiny_checkpoint_is_stable() {
     assert_matches_golden("tiny_test8.ckpt.json", &header, &net.checkpoint());
 }
 
+/// The committed tiny golden, reproduced under every shard count. The
+/// fully-loaded fixture has telemetry armed and a BECN-loss schedule
+/// installed — both serial-fallback conditions — so what this pins is
+/// the *boundary*: a `set_shards` call on such a run must be byte-free,
+/// falling back to the serial engine without perturbing a single field
+/// of the committed file.
+#[test]
+fn golden_tiny_checkpoint_is_stable_under_shards() {
+    let topo = FatTreeSpec::TEST_8.build();
+    for n in [1, 2, 4, 8] {
+        let mut net = loaded_net(0x1B51_C0DE, true, true);
+        net.set_shards(&topo, n);
+        net.run_until(Time::from_us(350));
+        let header = CheckpointHeader::new(
+            net.now().as_ps(),
+            net.events_processed(),
+            ibsim::checkpoint::digest(&net),
+        );
+        assert_matches_golden("tiny_test8.ckpt.json", &header, &net.checkpoint());
+    }
+}
+
 /// Quick-preset golden (72 nodes, capture at 3 ms in the CC-on hotspot
 /// cell): `#[ignore]`d for the debug-build loop; CI runs it in the
 /// release job alongside the determinism hash pin.
@@ -451,6 +473,50 @@ fn golden_quick_checkpoint_is_stable() {
         "quick-preset state at 3 ms drifted from the golden checkpoint:\n{}",
         ibsim_state::render_diff(&diffs)
     );
+}
+
+/// The committed quick golden, reproduced by *genuinely sharded* runs:
+/// the quick cell has no telemetry and no faults, so nothing forces the
+/// serial fallback and every shard count must land on the committed
+/// bytes through the full split/window/merge machinery.
+#[test]
+#[ignore = "simulates 3 ms on 72 nodes per shard count; run with --release -- --ignored"]
+fn golden_quick_checkpoint_is_stable_under_shards() {
+    let preset = Preset::Quick;
+    let topo = preset.topology();
+    let golden_text = std::fs::read_to_string(golden_path("quick_cc_on.ckpt.json"))
+        .expect("committed quick golden exists (bless via the serial test)");
+    let (golden_header, golden_state) =
+        ibsim_state::decode(&golden_text).expect("committed golden checkpoint decodes");
+    for n in [2, 4, 8] {
+        let mut net = Network::new(&topo, preset.net_config());
+        let roles = RoleSpec {
+            num_nodes: topo.num_hcas,
+            num_hotspots: preset.num_hotspots(),
+            b_pct: 0,
+            b_p: 0,
+            c_pct_of_rest: 80,
+        };
+        let _sc = Scenario::install_opts(roles, &mut net, PAPER_MSG_BYTES, true);
+        net.set_shards(&topo, n);
+        assert!(net.shard_count() > 1, "quick cell must shard genuinely");
+        net.run_until(Time::from_ms(3));
+        let header = CheckpointHeader::new(
+            net.now().as_ps(),
+            net.events_processed(),
+            ibsim::checkpoint::digest(&net),
+        );
+        assert_eq!(
+            golden_header, header,
+            "quick golden header drifted under --shards {n}"
+        );
+        let diffs = diff_values(&golden_state, &net.checkpoint().to_value(), 25);
+        assert!(
+            diffs.is_empty(),
+            "{n}-shard quick-preset state at 3 ms drifted from the golden checkpoint:\n{}",
+            ibsim_state::render_diff(&diffs)
+        );
+    }
 }
 
 // Unused-import guards for items only some cfg paths touch.

@@ -208,6 +208,28 @@ fn telemetry_on_is_byte_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The sharded executor reproduces the pinned CSV byte for byte at
+/// every shard count — the same literal string `tiny_table2_csv_is_pinned`
+/// guards, so any parallel-only drift in event order, RNG draws, or
+/// formatting fails against the published numbers directly. (Forcing
+/// the process-wide shard count is safe concurrently: sharding is
+/// byte-invisible, so other tests in this binary see identical results
+/// whichever toggle state they observe.)
+#[test]
+fn sharded_tiny_table2_csv_is_pinned() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let expected = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+    for n in [2, 4, 8, 1] {
+        ibsim::shards::force(n);
+        let csv = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+        assert_eq!(
+            csv, expected,
+            "--shards {n} shifted the tiny table2 CSV — the parallel \
+             executor no longer replays the serial event stream"
+        );
+    }
+}
+
 /// The quick preset (QUICK_72, 2 ms + 4 ms) exactly as
 /// `table2 --preset quick` runs it, pinned by FNV-1a hash.
 #[test]
@@ -228,5 +250,32 @@ fn quick_preset_table2_csv_hash_is_pinned() {
         fnv1a(csv.as_bytes()),
         0x9abd_45e6_1b8e_c195,
         "quick-preset table2 CSV drifted from the pinned hash; output:\n{csv}"
+    );
+}
+
+/// The quick preset again, on 4 shards, against the *same* pinned hash
+/// the serial test guards: a genuinely sharded 72-node run (no
+/// telemetry, no faults — nothing forces the serial fallback) lands on
+/// the published numbers bit for bit.
+#[test]
+#[ignore = "simulates 24 ms of fabric time across 4 cells; run with --release -- --ignored"]
+fn quick_preset_table2_csv_hash_is_pinned_sharded() {
+    let preset = Preset::Quick;
+    let topo = preset.topology();
+    let cfg = preset.net_config();
+    let roles = RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: preset.num_hotspots(),
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    };
+    ibsim::shards::force(4);
+    let csv = table2_csv(&topo, &cfg, roles, preset.durations());
+    ibsim::shards::force(1);
+    assert_eq!(
+        fnv1a(csv.as_bytes()),
+        0x9abd_45e6_1b8e_c195,
+        "4-shard quick-preset table2 CSV diverged from the serial pin; output:\n{csv}"
     );
 }

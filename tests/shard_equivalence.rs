@@ -1,0 +1,300 @@
+//! Differential pins for the sharded parallel executor.
+//!
+//! The contract under test is absolute: for every shard count, running
+//! a fabric through `Network::set_shards(topo, n)` produces state
+//! **byte-identical** to the serial engine at every `run_until`
+//! boundary — same event order, same RNG draws, same fault bookkeeping,
+//! same audit cadence, same queue keys. Equality is checked on the full
+//! [`NetworkState`] tree, which is strictly stronger than comparing
+//! end-of-run CSVs; on a mismatch the panic names the first diverging
+//! field via `ibsim_state::diff_values`.
+//!
+//! Also here: the serial-fallback boundaries (single leaf group,
+//! BECN-loss schedules), cross-shard packet-arena conservation (the
+//! merge asserts every shard arena drains; `--features pool-paranoid`
+//! keeps the double-free generation check in release builds), and a
+//! 20-repetition same-seed run asserting thread-schedule jitter never
+//! leaks into results.
+
+use ibsim::prelude::*;
+use ibsim_net::NetworkState;
+use ibsim_state::diff_values;
+use proptest::prelude::*;
+use serde::Serialize;
+
+/// The non-BECN fault families: flap (credit stall), drift (rate
+/// degradation), pause/resume. All shard cleanly — they are per-device
+/// or consulted lazily by time — so none of them force serial.
+const SHARDABLE_FAULTS: &str = "flap:link=hca:1,at=300us,dur=100us,factor=stall;\
+     drift:hca=2,at=150us,ccti_timer=2;pause:hca=3,at=200us,dur=150us";
+
+/// A configured fabric: fat tree, one hotspot, CC as requested,
+/// optional fault schedule, optional audit. Deterministic: two calls
+/// build identical nets.
+fn loaded_net(topo: &Topology, seed: u64, cc: bool, faults: Option<&str>, audit: bool) -> Network {
+    let mut cfg = NetConfig::paper().with_seed(seed);
+    if !cc {
+        cfg.cc = None;
+    }
+    let mut net = Network::new(topo, cfg);
+    if audit {
+        // Short cadence: several boundaries fall inside every window
+        // sweep below, pinning the replayed `Audit::due` positions.
+        net.enable_audit(10_000);
+    }
+    if let Some(spec) = faults {
+        let schedule = FaultSchedule::from_spec(spec, seed).expect("valid fault spec");
+        net.install_faults(schedule);
+    }
+    let roles = RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: 1,
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    };
+    let _sc = Scenario::install_opts(roles, &mut net, PAPER_MSG_BYTES, true);
+    net
+}
+
+/// Run to each capture instant in turn, checkpointing at every stop —
+/// the multi-boundary trace one run contributes to the comparison.
+fn trace(net: &mut Network, captures: &[Time]) -> Vec<NetworkState> {
+    captures
+        .iter()
+        .map(|&t| {
+            net.run_until(t);
+            net.checkpoint()
+        })
+        .collect()
+}
+
+/// The core differential: a serial run and an `n`-shard run of the same
+/// fabric hold byte-identical state at every capture instant.
+fn assert_equivalent(
+    topo: &Topology,
+    seed: u64,
+    cc: bool,
+    faults: Option<&str>,
+    audit: bool,
+    n: usize,
+    captures: &[Time],
+) {
+    let mut serial = loaded_net(topo, seed, cc, faults, audit);
+    let want = trace(&mut serial, captures);
+
+    let mut sharded = loaded_net(topo, seed, cc, faults, audit);
+    sharded.set_shards(topo, n);
+    let got = trace(&mut sharded, captures);
+
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        if w != g {
+            let diffs = diff_values(&w.to_value(), &g.to_value(), 10);
+            panic!(
+                "shards={n} diverged from serial at capture {} of {} \
+                 (t={:?}, seed={seed} cc={cc} faults={faults:?} audit={audit}):\n{}",
+                i + 1,
+                captures.len(),
+                captures[i],
+                ibsim_state::render_diff(&diffs)
+            );
+        }
+    }
+}
+
+fn us(v: u64) -> Time {
+    Time::from_us(v)
+}
+
+// ---------------------------------------------------------------------
+// Deterministic sweeps: the cheap fabrics on every `cargo test`.
+// ---------------------------------------------------------------------
+
+/// TEST_8 across shard counts and CC modes, captured mid-warmup, at a
+/// measurement-style boundary, and at the horizon.
+#[test]
+fn fat8_matches_serial_across_shard_counts() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let captures = [us(150), us(350), us(500)];
+    // The full {2,4,8} × {off,on} grid runs in the ignored release
+    // sweep; the everyday matrix covers both CC modes and the extremes.
+    for (n, cc) in [(2, false), (2, true), (8, false), (8, true)] {
+        assert_equivalent(&topo, 0x1B51_C0DE, cc, None, false, n, &captures);
+    }
+}
+
+/// Flap + drift schedules shard: per-shard fault-state clones replay
+/// the same windows, and the merged statistics equal the serial count.
+#[test]
+fn fat8_with_faults_matches_serial() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let captures = [us(250), us(500)];
+    assert_equivalent(
+        &topo,
+        0x1B51_C0DE,
+        true,
+        Some(SHARDABLE_FAULTS),
+        false,
+        4,
+        &captures,
+    );
+}
+
+/// The invariant oracle's cadence and ledgers survive sharding: the
+/// replay steps `Audit::due` event-exactly, and the checkpoint carries
+/// the full `NetAuditState` into the comparison.
+#[test]
+fn fat8_with_audit_matches_serial() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let captures = [us(200), us(500)];
+    assert_equivalent(&topo, 0x1B51_C0DE, true, None, true, 2, &captures);
+    assert_equivalent(
+        &topo,
+        0x1B51_C0DE,
+        true,
+        Some(SHARDABLE_FAULTS),
+        true,
+        4,
+        &captures,
+    );
+}
+
+/// The 72-node quick fabric: multi-stage routes cross shard boundaries
+/// both leaf→spine and spine→leaf.
+#[test]
+#[ignore = "simulates a 72-node fabric 4×; run with --release -- --ignored"]
+fn fat72_matches_serial() {
+    let topo = FatTreeSpec::QUICK_72.build();
+    let captures = [us(80), us(200)];
+    for n in [2, 4] {
+        assert_equivalent(&topo, 0x1B51_C0DE, true, None, false, n, &captures);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serial-fallback boundaries.
+// ---------------------------------------------------------------------
+
+/// One switch = one leaf group: nothing to cut, the executor declines
+/// and the run is the serial engine verbatim.
+#[test]
+fn single_switch_declines_to_shard() {
+    let topo = single_switch(8, 2);
+    let mut net = loaded_net(&topo, 3, true, None, false);
+    net.set_shards(&topo, 4);
+    assert_eq!(net.shard_count(), 1);
+}
+
+/// BECN-loss windows draw from one shared RNG stream in global
+/// CNP-arrival order; the executor declines rather than approximate.
+/// (The run still works — serially.)
+#[test]
+fn becn_loss_schedule_declines_to_shard() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let spec = "becnloss:link=hcas,p=0.5";
+    let mut net = loaded_net(&topo, 3, true, Some(spec), false);
+    net.set_shards(&topo, 4);
+    assert_eq!(net.shard_count(), 1);
+
+    // And an equivalence run through the public path is trivially exact.
+    assert_equivalent(&topo, 3, true, Some(spec), false, 4, &[us(400)]);
+}
+
+/// `set_shards` with n=1 (or on an already-serial net) is a no-op.
+#[test]
+fn one_shard_is_serial() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let mut net = loaded_net(&topo, 3, true, None, false);
+    net.set_shards(&topo, 1);
+    assert_eq!(net.shard_count(), 1);
+    assert_equivalent(&topo, 3, true, None, false, 1, &[us(300)]);
+}
+
+// ---------------------------------------------------------------------
+// Thread-schedule jitter: same seed, many repetitions, one answer.
+// ---------------------------------------------------------------------
+
+/// 20 repetitions of the same 4-shard run produce 20 byte-identical
+/// checkpoints: OS scheduling, barrier arrival order, and work
+/// imbalance never reach an observable.
+#[test]
+#[ignore = "20 repetitions of a 500 µs run; run with --release -- --ignored"]
+fn same_seed_runs_are_jitter_free() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let reference = {
+        let mut net = loaded_net(&topo, 0xD15C, true, Some(SHARDABLE_FAULTS), false);
+        net.set_shards(&topo, 4);
+        net.run_until(us(500));
+        serde_json::to_string(&net.checkpoint()).expect("serialise")
+    };
+    for rep in 0..19 {
+        let mut net = loaded_net(&topo, 0xD15C, true, Some(SHARDABLE_FAULTS), false);
+        net.set_shards(&topo, 4);
+        net.run_until(us(500));
+        let got = serde_json::to_string(&net.checkpoint()).expect("serialise");
+        assert_eq!(
+            got, reference,
+            "repetition {} of the same seeded run diverged — thread \
+             scheduling leaked into simulation state",
+            rep + 2
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: seeds × fabric × CC × faults × shard count.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed, either fabric, either CC mode, any shardable fault
+    /// schedule, any shard count, two capture instants: parallel equals
+    /// serial, byte for byte.
+    #[test]
+    #[ignore = "16 full runs incl. the 72-node fabric; run with --release -- --ignored"]
+    fn sharded_equals_serial_everywhere(
+        seed in 0u64..1_000,
+        big in proptest::bool::ANY,
+        cc in proptest::bool::ANY,
+        faulted in proptest::bool::ANY,
+        n in 2usize..=8,
+        mid_us in 50u64..=300,
+    ) {
+        let topo = if big {
+            FatTreeSpec::QUICK_72.build()
+        } else {
+            FatTreeSpec::TEST_8.build()
+        };
+        let horizon = if big { 320 } else { 600 };
+        let faults = if faulted { Some(SHARDABLE_FAULTS) } else { None };
+        assert_equivalent(&topo, seed, cc, faults, false, n,
+                          &[us(mid_us), us(horizon)]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard hand-off conservation.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Packets handed across shards are neither leaked nor double-freed:
+    /// the merge asserts every shard arena drains to zero live slots
+    /// (and under `--features pool-paranoid` each release re-validates
+    /// its generation), while the master checkpoint — which resolves
+    /// every surviving handle — must still equal serial. Many windows
+    /// (short horizon steps) maximise hand-off traffic.
+    #[test]
+    fn cross_shard_handoff_conserves_packets(
+        seed in 0u64..500,
+        n in 2usize..=6,
+    ) {
+        let topo = FatTreeSpec::TEST_8.build();
+        // Stepping in small increments forces a fresh split/merge cycle
+        // per step — each one a full conservation audit.
+        let captures: Vec<Time> = (1..=5).map(|k| us(100 * k)).collect();
+        assert_equivalent(&topo, seed, true, None, false, n, &captures);
+    }
+}
