@@ -48,6 +48,13 @@ pub enum LedgerKind {
     CongestionOccupancy,
     /// Event-queue pops strictly monotone in (time, seq).
     EventOrder,
+    /// PFC losslessness (DCQCN backend): pause and resume frames pair up
+    /// per (port, priority) — every XOFF is eventually matched by one
+    /// XON — and while an ingress is paused its buffered occupancy stays
+    /// above the XON threshold (a packet silently leaving a paused
+    /// ingress without a resume is a drop the pause was meant to
+    /// prevent).
+    PauseLosslessness,
     /// A loss the fault-injection layer was *told* to cause (e.g. a CNP
     /// dropped by a BECN-loss window). Ledgered so the audit artifact
     /// shows exactly what was sacrificed, but sanctioned: it never
@@ -65,6 +72,7 @@ impl LedgerKind {
             LedgerKind::CctiBounds => "ccti-bounds",
             LedgerKind::CongestionOccupancy => "congestion-occupancy",
             LedgerKind::EventOrder => "event-order",
+            LedgerKind::PauseLosslessness => "pause-losslessness",
             LedgerKind::SanctionedDrop => "sanctioned-drop",
         }
     }

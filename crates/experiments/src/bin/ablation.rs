@@ -119,6 +119,7 @@ fn cells_for(param: &str, base: &NetConfig) -> Vec<Cell> {
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
     args.apply_checkpoint();

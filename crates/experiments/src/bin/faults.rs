@@ -28,6 +28,7 @@ const DEFAULT_SPEC: &str = "flap:link=hca:1,at=3ms,dur=1ms,factor=stall;\
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
     args.apply_checkpoint();

@@ -54,6 +54,7 @@ fn run_point(topo: &Topology, cfg: &NetConfig, p: &Point, measure: TimeDelta) ->
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
     args.apply_checkpoint();

@@ -16,6 +16,7 @@ use ibsim_experiments::{f2, f3, Args};
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
     args.apply_checkpoint();

@@ -20,6 +20,7 @@ use ibsim_experiments::{f2, f3, Args};
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
     args.apply_checkpoint();
@@ -169,4 +170,41 @@ fn main() {
     write_csv(&out.join("table2.csv"), &["metric", "gbps"], &csv_rows).expect("write csv");
     write_json(&out.join("table2.json"), &results).expect("write json");
     eprintln!("wrote {}", out.join("table2.csv").display());
+
+    // --backend-compare: re-run the hotspot CC-on cell under each
+    // congestion-control backend (IB CC and DCQCN/PFC) against the
+    // shared CC-off baseline already computed above, and emit a
+    // side-by-side CSV. Serial per backend: the selector is process
+    // global.
+    if args.get_flag("backend-compare") {
+        let mut rows = Vec::new();
+        rows.push(vec![
+            "none".into(),
+            f3(hs_off.hotspot_rx),
+            f3(hs_off.non_hotspot_rx),
+            f3(hs_off.total_rx),
+            "1.00".into(),
+        ]);
+        for b in [ibsim_cc::CcBackend::IbCc, ibsim_cc::CcBackend::Dcqcn] {
+            ibsim::backend::force(b);
+            let r = run_scenario_opts(&topo, cfg.clone(), roles, dur, None, true);
+            rows.push(vec![
+                b.name().into(),
+                f3(r.hotspot_rx),
+                f3(r.non_hotspot_rx),
+                f3(r.total_rx),
+                f2(r.total_rx / hs_off.total_rx),
+            ]);
+        }
+        ibsim::backend::clear();
+        args.apply_cc_backend();
+        let name = "table2_backend_compare.csv";
+        write_csv(
+            &out.join(name),
+            &["backend", "hs_rx", "nonhs_rx", "total_rx", "improvement"],
+            &rows,
+        )
+        .expect("write csv");
+        eprintln!("wrote {}", out.join(name).display());
+    }
 }

@@ -21,6 +21,7 @@ use ibsim_experiments::{f2, f3, Args};
 fn main() {
     let args = Args::parse();
     args.apply_audit();
+    args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
     args.apply_checkpoint();
@@ -192,4 +193,58 @@ fn main() {
     .expect("write csv");
     write_json(&out.join(format!("windy_x{x}.json")), &pairs).expect("write json");
     eprintln!("wrote {}", out.join(&name).display());
+
+    // --backend-compare: sweep the same p ladder under each
+    // congestion-control backend (IB CC and DCQCN/PFC) and emit one
+    // long-format CSV. Backends run serially — the selector is process
+    // global — but each ladder still parallelises over p.
+    if args.get_flag("backend-compare") {
+        let mut rows = Vec::new();
+        for b in [ibsim_cc::CcBackend::IbCc, ibsim_cc::CcBackend::Dcqcn] {
+            ibsim::backend::force(b);
+            let bpairs = parallel_map(&p_values, args.threads(), |&p| {
+                let roles = RoleSpec {
+                    num_nodes: topo.num_hcas,
+                    num_hotspots: preset.num_hotspots(),
+                    b_pct: x,
+                    b_p: p,
+                    c_pct_of_rest: 80,
+                };
+                run_cc_pair_faults(&topo, &cfg, roles, dur, None, faults.as_ref())
+            });
+            for (p, c) in p_values.iter().zip(&bpairs) {
+                rows.push(vec![
+                    p.to_string(),
+                    b.name().into(),
+                    f3(c.off.non_hotspot_rx),
+                    f3(c.on.non_hotspot_rx),
+                    f3(c.off.hotspot_rx),
+                    f3(c.on.hotspot_rx),
+                    f3(c.off.total_rx),
+                    f3(c.on.total_rx),
+                    f3(c.improvement()),
+                ]);
+            }
+        }
+        ibsim::backend::clear();
+        args.apply_cc_backend();
+        let name = format!("windy_x{x}_backend_compare.csv");
+        write_csv(
+            &out.join(&name),
+            &[
+                "p",
+                "backend",
+                "nonhs_rx_off",
+                "nonhs_rx_on",
+                "hs_rx_off",
+                "hs_rx_on",
+                "total_off",
+                "total_on",
+                "improvement",
+            ],
+            &rows,
+        )
+        .expect("write csv");
+        eprintln!("wrote {}", out.join(&name).display());
+    }
 }

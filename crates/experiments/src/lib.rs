@@ -111,6 +111,22 @@ impl Args {
         }
     }
 
+    /// Apply the shared `--cc-backend {ibcc,dcqcn}` flag: select the
+    /// congestion-control backend every CC-enabled run this process
+    /// performs uses. `ibcc` (also the flag's absence under a clean
+    /// environment) is byte-identical to builds predating the backend
+    /// split; `dcqcn` swaps in PFC pause frames plus CNP-driven rate
+    /// control. Without the flag the environment (`IBSIM_CC_BACKEND`)
+    /// still decides, so the CI dcqcn leg covers binaries launched
+    /// without it.
+    pub fn apply_cc_backend(&self) {
+        if let Some(s) = self.get("cc-backend") {
+            let b = ibsim_cc::CcBackend::parse(s)
+                .unwrap_or_else(|| panic!("unknown cc backend {s:?}; try ibcc|dcqcn"));
+            ibsim::backend::force(b);
+        }
+    }
+
     /// Apply the shared `--shards N` flag: run every simulation this
     /// process performs on `N` parallel shards. Results are
     /// byte-identical to the serial engine for every `N`; the flag only

@@ -1,7 +1,7 @@
 //! Network model configuration.
 
 use crate::vlarb::VlArbTable;
-use ibsim_cc::CcParams;
+use ibsim_cc::{CcBackend, CcParams, DcqcnParams};
 use ibsim_engine::time::{Bandwidth, TimeDelta};
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +40,13 @@ pub struct NetConfig {
     /// Congestion-control parameters; `None` disables CC entirely
     /// (the paper's "CC off" runs).
     pub cc: Option<CcParams>,
+    /// Which congestion-control backend interprets the notification
+    /// pipeline: the paper's IB CC (FECN/BECN/CCTI) or DCQCN/PFC
+    /// (RoCEv2-style CNP rate control plus pause frames). Ignored when
+    /// `cc` is `None` for rate control, but `dcqcn` still arms PFC.
+    pub cc_backend: CcBackend,
+    /// DCQCN/PFC tunables; only read when `cc_backend` is `Dcqcn`.
+    pub dcqcn: DcqcnParams,
     /// Reference buffer-pool size (bytes) the CC threshold weight is a
     /// fraction of; see DESIGN.md "Congestion detection point".
     pub cc_detect_capacity: u64,
@@ -68,6 +75,8 @@ impl NetConfig {
             inj_rate: Bandwidth::from_gbps_f64(13.5),
             drain_rate: Bandwidth::from_gbps_f64(13.6),
             cc: Some(CcParams::paper_table1()),
+            cc_backend: CcBackend::IbCc,
+            dcqcn: DcqcnParams::default(),
             cc_detect_capacity: 256 * 1024,
             seed: 0x1B51_C0DE,
         }
@@ -77,6 +86,15 @@ impl NetConfig {
     pub fn paper_no_cc() -> Self {
         NetConfig {
             cc: None,
+            ..Self::paper()
+        }
+    }
+
+    /// Same model with the DCQCN/PFC backend in place of IB CC. The
+    /// detector (`cc`) stays armed — DCQCN reuses it as its ECN marker.
+    pub fn paper_dcqcn() -> Self {
+        NetConfig {
+            cc_backend: CcBackend::Dcqcn,
             ..Self::paper()
         }
     }
@@ -116,6 +134,16 @@ impl NetConfig {
         if self.inj_rate > self.link_bw {
             return Err("injection rate above link rate".into());
         }
+        if self.cc_backend == CcBackend::Dcqcn {
+            self.dcqcn.validate()?;
+            if self.cc.is_none() {
+                return Err(
+                    "dcqcn backend requires cc params (the marking detector and CC timer \
+                     are shared infrastructure); use cc: Some(..) with dcqcn"
+                        .into(),
+                );
+            }
+        }
         if let Some(cc) = &self.cc {
             cc.validate()?;
             if self.cc_detect_capacity == 0 {
@@ -148,8 +176,21 @@ mod tests {
     fn paper_config_is_valid() {
         NetConfig::paper().validate().unwrap();
         NetConfig::paper_no_cc().validate().unwrap();
+        NetConfig::paper_dcqcn().validate().unwrap();
         assert!(NetConfig::paper().cc_enabled());
         assert!(!NetConfig::paper_no_cc().cc_enabled());
+        assert_eq!(NetConfig::paper().cc_backend, CcBackend::IbCc);
+        assert_eq!(NetConfig::paper_dcqcn().cc_backend, CcBackend::Dcqcn);
+    }
+
+    #[test]
+    fn dcqcn_backend_requires_detector_params() {
+        let mut c = NetConfig::paper_dcqcn();
+        c.cc = None;
+        assert!(c.validate().is_err());
+        let mut c = NetConfig::paper_dcqcn();
+        c.dcqcn.pfc_xon_blocks = c.dcqcn.pfc_xoff_blocks; // XON must sit below XOFF
+        assert!(c.validate().is_err());
     }
 
     #[test]

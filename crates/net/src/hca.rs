@@ -5,7 +5,7 @@
 use crate::gen::{ClassState, TrafficClass};
 use crate::pool::{PacketPool, PktHandle};
 use crate::types::{NodeId, Packet, PacketKind, Vl, CNP_BYTES};
-use ibsim_cc::{HcaCc, HcaCcState};
+use ibsim_cc::{SourceCc, SourceCcState};
 use ibsim_engine::time::{Time, TimeDelta};
 use ibsim_engine::{HistogramState, RateMeterState};
 use serde::{Deserialize, Serialize};
@@ -51,8 +51,8 @@ pub struct Hca {
     cnp_queue: VecDeque<PendingCnp>,
     pub classes: Vec<TrafficClass>,
     rr_class: usize,
-    /// CA-side congestion control state.
-    pub cc: HcaCc,
+    /// CA-side congestion control state (IB CC or DCQCN, per backend).
+    pub cc: SourceCc,
     /// Per-destination injection sequence numbers, indexed by node id.
     seqs: Vec<u32>,
     // ---- ingress --------------------------------------------------------
@@ -92,7 +92,7 @@ pub struct Hca {
 impl Hca {
     /// `num_nodes` sizes the dense per-peer tables (sequence numbers,
     /// ordering checks, per-source receive accounting).
-    pub fn new(id: NodeId, num_nodes: u32, n_vls: u8, cc: HcaCc) -> Self {
+    pub fn new(id: NodeId, num_nodes: u32, n_vls: u8, cc: SourceCc) -> Self {
         Hca {
             id,
             out_channel: u32::MAX,
@@ -150,7 +150,7 @@ impl Hca {
 
         // CNPs first.
         if let Some(&cnp) = self.cnp_queue.front() {
-            if self.credits[cnp.vl as usize] >= 1 {
+            if self.credits[cnp.vl as usize] >= 1 && !self.cc.tx_paused(cnp.vl as usize) {
                 self.cnp_queue.pop_front();
                 return NextSend::Packet(Packet {
                     src: self.id,
@@ -197,6 +197,11 @@ impl Hca {
             let vl = class.vl as usize;
             if self.credits[vl] < crate::types::blocks_for(bytes) {
                 continue; // a credit event re-fires the injector
+            }
+            // PFC: a paused priority transmits nothing; the resume
+            // frame re-fires the injector.
+            if self.cc.tx_paused(vl) {
+                continue;
             }
             class.take(bytes);
             let sl = class.sl;
@@ -248,7 +253,8 @@ impl Hca {
             self.tx_meter.record(now, pkt.bytes as u64);
             if cc_enabled {
                 let key = self.cc.flow_key(pkt.dst, pkt.sl);
-                self.cc.note_packet_sent(key, self.busy_until, ser);
+                self.cc
+                    .note_packet_sent(key, self.busy_until, ser, pkt.bytes as u64);
             }
         }
         ser
@@ -260,7 +266,7 @@ impl Hca {
     /// sink was idle and a drain should start.
     pub fn receive(&mut self, h: PktHandle, pool: &PacketPool, cc_enabled: bool) -> bool {
         let pkt = pool.get(h);
-        if pkt.fecn && cc_enabled && !pkt.is_cnp() {
+        if pkt.fecn && cc_enabled && !pkt.is_cnp() && self.cc.cnp_on() {
             self.cnp_queue.push_back(PendingCnp {
                 dst: pkt.src,
                 vl: pkt.vl,
@@ -448,7 +454,9 @@ impl Hca {
             c.restore_state(cs);
         }
         self.rr_class = s.rr_class as usize;
-        self.cc.restore_state(&s.cc);
+        self.cc
+            .restore_state(&s.cc)
+            .map_err(|e| format!("hca {}: {e}", self.id))?;
         self.seqs = s.seqs.clone();
         self.draining = s.draining.map(|p| pool.alloc(p));
         self.sink_queue = s.sink_queue.iter().map(|&p| pool.alloc(p)).collect();
@@ -480,7 +488,7 @@ pub struct HcaState {
     /// Runtime cursors of each installed traffic class, in order.
     pub classes: Vec<ClassState>,
     pub rr_class: u32,
-    pub cc: HcaCcState,
+    pub cc: SourceCcState,
     pub seqs: Vec<u32>,
     pub draining: Option<Packet>,
     pub sink_queue: Vec<Packet>,
@@ -503,13 +511,13 @@ mod tests {
     use super::*;
     use crate::config::NetConfig;
     use crate::gen::DestPattern;
-    use ibsim_cc::CcParams;
+    use ibsim_cc::{CcParams, HcaCc};
     use ibsim_engine::Rng;
     use std::sync::Arc;
 
     fn hca() -> (Hca, NetConfig) {
         let cfg = NetConfig::paper();
-        let cc = HcaCc::new(Arc::new(CcParams::paper_table1()));
+        let cc = SourceCc::Ib(HcaCc::new(Arc::new(CcParams::paper_table1())));
         let mut h = Hca::new(3, 16, 1, cc);
         h.credits = vec![128];
         (h, cfg)
@@ -639,7 +647,7 @@ mod tests {
         }
         let t = Time::from_us(10);
         // Prime flow 7's gate by "sending" one packet.
-        h.cc.note_packet_sent(7, t, TimeDelta::from_ns(820));
+        h.cc.note_packet_sent(7, t, TimeDelta::from_ns(820), 2048);
         // 50 BECNs → CCTI 50 → gate = t + 50*820ns, far in the future.
         match h.next_packet(t, 16, &cfg, true) {
             NextSend::Packet(p) => assert_eq!(p.dst, 9, "unthrottled class proceeds"),
@@ -669,7 +677,7 @@ mod tests {
         let pkt = h.finish_drain(Time::from_ns(100), true, &mut pool);
         assert!(pkt.is_cnp());
         assert_eq!(pool.live(), 0, "drained packet released its slot");
-        assert_eq!(h.cc.ccti(5), 1, "BECN raises CCTI toward CNP source");
+        assert_eq!(h.cc.max_ccti(), 1, "BECN raises CCTI toward CNP source");
         assert_eq!(h.delivered_packets, 0, "CNPs are not data deliveries");
     }
 

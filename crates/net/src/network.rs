@@ -9,7 +9,7 @@ use crate::switch::{Grant, Switch};
 use crate::telemetry::{FlightKind, NetTelemetry, TelemetryConfig};
 use crate::trace::{TracePoint, Tracer};
 use crate::types::{NodeId, Packet, Vl};
-use ibsim_cc::HcaCc;
+use ibsim_cc::{CcBackend, DcqcnCc, HcaCc, SourceCc};
 use ibsim_engine::queue::EventQueue;
 use ibsim_faults::{AppliedEffect, FaultSchedule, FaultState, FaultStats, LinkSel};
 use ibsim_engine::rng::Rng;
@@ -68,6 +68,17 @@ pub enum Event {
     /// A scheduled fault transition fires (index into the installed
     /// [`FaultSchedule`]'s transition list).
     Fault { idx: u32 },
+    /// PFC pause (`xoff`) or resume frame reaching a switch egress
+    /// `(sw, port)` for priority `vl` (dcqcn backend only).
+    PfcSw {
+        sw: u32,
+        port: u16,
+        vl: Vl,
+        xoff: bool,
+    },
+    /// PFC pause/resume frame reaching an HCA's transmitter for
+    /// priority `vl` (dcqcn backend only).
+    PfcHca { hca: u32, vl: Vl, xoff: bool },
 }
 
 /// The fully-wired simulator for one network.
@@ -141,7 +152,15 @@ impl Network {
                     ibsim_cc::CcMode::QueuePair => topo.num_hcas,
                     ibsim_cc::CcMode::ServiceLevel => n_vls as usize,
                 };
-                let cc = HcaCc::with_flow_capacity(params, n_flows);
+                let cc = match cfg.cc_backend {
+                    CcBackend::IbCc => SourceCc::Ib(HcaCc::with_flow_capacity(params, n_flows)),
+                    CcBackend::Dcqcn => SourceCc::Dcqcn(DcqcnCc::new(
+                        params,
+                        cfg.dcqcn,
+                        n_flows,
+                        n_vls as usize,
+                    )),
+                };
                 Hca::new(i as NodeId, num_nodes, n_vls, cc)
             })
             .collect();
@@ -217,6 +236,13 @@ impl Network {
                     })
                     .collect();
                 sw.install_cc(params, cfg.cc_detect_capacity, &victim);
+            }
+        }
+
+        // PFC pause machinery on every switch (dcqcn backend only).
+        if cfg.cc_backend == CcBackend::Dcqcn {
+            for sw in switches.iter_mut() {
+                sw.install_pfc(cfg.dcqcn.pfc_xoff_blocks, cfg.dcqcn.pfc_xon_blocks);
             }
         }
 
@@ -553,6 +579,28 @@ impl Network {
     }
     pub fn cc_enabled(&self) -> bool {
         self.cc_params.is_some()
+    }
+    /// The congestion-control backend this network was built with.
+    pub fn cc_backend(&self) -> CcBackend {
+        self.cfg.cc_backend
+    }
+    /// Total PFC pause frames emitted across all switches (0 under ibcc).
+    pub fn total_pfc_pauses(&self) -> u64 {
+        self.switches.iter().map(|s| s.pfc_pauses_total()).sum()
+    }
+    /// HCA egress priorities currently pause-gated, across the fabric.
+    pub fn hca_vls_paused(&self) -> usize {
+        let nv = self.cfg.n_vls as usize;
+        self.hcas
+            .iter()
+            .map(|h| (0..nv).filter(|&vl| h.cc.tx_paused(vl)).count())
+            .sum()
+    }
+    /// Fault-injection hook for oracle tests: silently discard the head
+    /// packet queued from `in_port` on switch `sw` (see
+    /// [`Switch::drop_queued_for_test`]). Nothing ledgers the loss.
+    pub fn drop_queued_for_test(&mut self, sw: usize, in_port: u16) -> Option<Packet> {
+        self.switches[sw].drop_queued_for_test(in_port, &mut self.pool)
     }
 
     /// Run the event loop until simulated time `t` (events at exactly
@@ -899,6 +947,45 @@ impl Network {
                 }
             }
             Event::Fault { idx } => self.on_fault(now, idx),
+            Event::PfcSw { sw, port, vl, xoff } => {
+                self.switches[sw as usize].set_tx_paused(port, vl, xoff);
+                if !xoff {
+                    // Resume: whatever queued behind the pause gets an
+                    // arbitration round immediately.
+                    self.sw_arbitrate(now, sw, port);
+                }
+            }
+            Event::PfcHca { hca, vl, xoff } => {
+                self.hcas[hca as usize].cc.set_tx_paused(vl as usize, xoff);
+                if !xoff {
+                    self.schedule_hca_wakeup(hca, now);
+                }
+            }
+        }
+    }
+
+    /// Put a PFC pause (`xoff`) or resume frame on the wire from switch
+    /// `si`'s ingress `in_port` toward the upstream transmitter feeding
+    /// it. The frame rides the reverse channel of the data link, like a
+    /// credit update but without the credit-processing latency — PFC
+    /// frames are handled in the MAC, ahead of the buffer bookkeeping.
+    fn send_pfc(&mut self, now: Time, si: u32, in_port: u16, vl: Vl, xoff: bool) {
+        let in_ch = self.switches[si as usize].ports[in_port as usize]
+            .in_channel
+            .expect("pfc on uncabled port");
+        let rev = self.channels[self.channels[in_ch as usize].reverse as usize];
+        let at = now + rev.delay;
+        match self.channels[in_ch as usize].from {
+            (Dev::Switch(up), up_port) => self.sched(
+                at,
+                Event::PfcSw {
+                    sw: up,
+                    port: up_port,
+                    vl,
+                    xoff,
+                },
+            ),
+            (Dev::Hca(h), _) => self.sched(at, Event::PfcHca { hca: h, vl, xoff }),
         }
     }
 
@@ -974,6 +1061,11 @@ impl Network {
         // pending SwTxDone re-arbitrates; otherwise schedule a trigger.
         if busy_until <= ready_at {
             self.sched(ready_at, Event::SwTryArb { sw: si, port: out });
+        }
+        // PFC: this arrival may push the ingress past its XOFF
+        // threshold (no-op under the IB backend).
+        if self.switches[si as usize].pfc_check_xoff(in_port, pkt.vl) {
+            self.send_pfc(now, si, in_port, pkt.vl, true);
         }
     }
 
@@ -1061,6 +1153,11 @@ impl Network {
                 },
             ),
             (Dev::Hca(h), _) => self.sched(at, Event::HcaCredit { hca: h, vl, blocks }),
+        }
+        // PFC: the grant drained the ingress; it may now sit at or
+        // below XON (no-op under the IB backend).
+        if self.switches[si as usize].pfc_check_xon(in_port, vl) {
+            self.send_pfc(now, si, in_port, vl, false);
         }
     }
 

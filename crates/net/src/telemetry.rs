@@ -17,6 +17,7 @@
 //! workspace determinism pins).
 
 use crate::network::Network;
+use ibsim_cc::CcBackend;
 use ibsim_engine::time::Time;
 use ibsim_engine::{Histogram, HistogramState, RunMeter};
 use ibsim_telemetry::{
@@ -60,6 +61,14 @@ pub struct NetTelemetry {
     eng_eps: MetricId,
     eng_wall: MetricId,
     occ_hist: HistId,
+    /// DCQCN-only columns: per-HCA paused-VL gauge and the fabric-wide
+    /// pause-frame total. `None` under the IB backend, so the ibcc
+    /// registry layout (and every checkpointed value vector) is
+    /// byte-identical to the pre-backend-refactor one. Both are
+    /// cumulative-state gauges — no delta baselines, so
+    /// [`NetTelemetryState`] keeps its schema.
+    dcqcn_hca_paused: Option<MetricId>,
+    fab_pfc_pauses: Option<MetricId>,
     // -- flat (switch, port) indexing -------------------------------------
     /// Base into the flat port arrays, per switch.
     port_start: Vec<usize>,
@@ -104,6 +113,14 @@ impl NetTelemetry {
         let eng_eps = reg.counter("engine.events_per_sec");
         let eng_wall = reg.counter("engine.wall_ms_per_sim_ms");
         let occ_hist = reg.histogram("fabric.total_occ_blocks");
+        let (dcqcn_hca_paused, fab_pfc_pauses) = if net.cc_backend() == CcBackend::Dcqcn {
+            (
+                Some(reg.block(n, MetricKind::Gauge, |i| format!("hca{i}.vls_paused"))),
+                Some(reg.gauge("fabric.pfc_pauses_total")),
+            )
+        } else {
+            (None, None)
+        };
         let table = SampleTable::new(
             reg.names().to_vec(),
             reg.kinds().to_vec(),
@@ -128,6 +145,8 @@ impl NetTelemetry {
             eng_eps,
             eng_wall,
             occ_hist,
+            dcqcn_hca_paused,
+            fab_pfc_pauses,
             port_start,
             prev_rx: vec![0; n],
             prev_tx: vec![0; n],
@@ -216,6 +235,16 @@ impl NetTelemetry {
         self.reg.set(self.fab_max_ccti, net.max_ccti() as f64);
         let throttled: usize = net.hcas.iter().map(|h| h.cc.throttled_flows()).sum();
         self.reg.set(self.fab_throttled, throttled as f64);
+
+        if let Some(paused) = self.dcqcn_hca_paused {
+            for (i, h) in net.hcas.iter().enumerate() {
+                let n = (0..h.credits.len()).filter(|&vl| h.cc.tx_paused(vl)).count();
+                self.reg.set_at(paused, i, n as f64);
+            }
+        }
+        if let Some(pauses) = self.fab_pfc_pauses {
+            self.reg.set(pauses, net.total_pfc_pauses() as f64);
+        }
 
         let lap = self.run_meter.lap(net.events_processed(), at);
         self.reg.set(self.eng_events, lap.events as f64);

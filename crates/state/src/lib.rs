@@ -24,10 +24,27 @@ use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::path::Path;
 
-/// Current checkpoint format version. Bump on any incompatible change to
-/// the state tree's schema; restore refuses other versions with
+/// Checkpoint format version of IB CC (`ibcc` backend) state trees —
+/// unchanged since the format landed, so every previously written
+/// checkpoint still restores. Bump on any incompatible change to the
+/// state tree's schema; restore refuses unknown versions with
 /// [`StateError::VersionMismatch`].
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Format version of `dcqcn`-backend checkpoints: the state tree gains
+/// backend-tagged per-HCA CC sections and per-switch PFC sections, so
+/// the version is bumped rather than silently reusing v1.
+pub const FORMAT_VERSION_DCQCN: u32 = 2;
+
+/// Highest format version this build understands.
+pub const FORMAT_VERSION_MAX: u32 = FORMAT_VERSION_DCQCN;
+
+/// The default backend tag (the one whose digests predate the field).
+pub const BACKEND_IBCC: &str = "ibcc";
+
+fn default_backend() -> String {
+    BACKEND_IBCC.to_string()
+}
 
 /// Leading magic string; guards against feeding arbitrary JSON (or a
 /// telemetry CSV) to the restore path.
@@ -37,7 +54,7 @@ pub const MAGIC: &str = "ibsim-checkpoint";
 /// Restore validates it against the live network before touching any
 /// state: applying a 72-node checkpoint to an 8-node fabric must fail
 /// loudly, not scribble.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TopoDigest {
     pub switches: u64,
     pub hcas: u64,
@@ -47,6 +64,62 @@ pub struct TopoDigest {
     /// Congestion control armed? (A CC-on checkpoint carries per-flow
     /// tables a CC-off network has no home for.)
     pub cc: bool,
+    /// Congestion-control backend tag (`"ibcc"` or `"dcqcn"`). An `ibcc`
+    /// checkpoint carries CCT/CCTI state; a `dcqcn` one carries rate and
+    /// PFC state — restoring across backends would scribble, so the
+    /// digest refuses the mix before any state is decoded.
+    pub backend: String,
+}
+
+// Hand-written serde: the `backend` key is omitted when it holds the
+// default (`"ibcc"`), so every digest written before the field existed —
+// including the committed golden checkpoints — stays byte-identical and
+// still decodes.
+impl Serialize for TopoDigest {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("switches".to_string(), self.switches.to_value()),
+            ("hcas".to_string(), self.hcas.to_value()),
+            ("channels".to_string(), self.channels.to_value()),
+            ("n_vls".to_string(), self.n_vls.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("cc".to_string(), self.cc.to_value()),
+        ];
+        if self.backend != BACKEND_IBCC {
+            pairs.push(("backend".to_string(), self.backend.to_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for TopoDigest {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| serde::Error::custom(format!("missing field `{k}` in TopoDigest")))
+        };
+        Ok(TopoDigest {
+            switches: u64::from_value(field("switches")?)?,
+            hcas: u64::from_value(field("hcas")?)?,
+            channels: u64::from_value(field("channels")?)?,
+            n_vls: u64::from_value(field("n_vls")?)?,
+            seed: u64::from_value(field("seed")?)?,
+            cc: bool::from_value(field("cc")?)?,
+            backend: match v.get("backend") {
+                Some(b) => String::from_value(b)?,
+                None => default_backend(),
+            },
+        })
+    }
+}
+
+/// The format version a checkpoint from the given backend must carry.
+pub fn expected_version(backend: &str) -> u32 {
+    if backend == BACKEND_IBCC {
+        FORMAT_VERSION
+    } else {
+        FORMAT_VERSION_DCQCN
+    }
 }
 
 /// The envelope every checkpoint starts with.
@@ -63,26 +136,31 @@ pub struct CheckpointHeader {
 
 impl CheckpointHeader {
     pub fn new(at_ps: u64, events_processed: u64, topo: TopoDigest) -> Self {
+        let version = expected_version(&topo.backend);
         CheckpointHeader {
             magic: MAGIC.to_string(),
-            version: FORMAT_VERSION,
+            version,
             at_ps,
             events_processed,
             topo,
         }
     }
 
-    /// Check magic and version — the first gate of every restore.
+    /// Check magic and version — the first gate of every restore. The
+    /// version must be the one the digest's backend writes: an `ibcc`
+    /// header claiming v2 (or a v3 from a future build) is refused with
+    /// the version this build expects for that backend.
     pub fn validate_format(&self) -> Result<(), StateError> {
         if self.magic != MAGIC {
             return Err(StateError::BadMagic {
                 found: self.magic.clone(),
             });
         }
-        if self.version != FORMAT_VERSION {
+        let expected = expected_version(&self.topo.backend);
+        if self.version != expected {
             return Err(StateError::VersionMismatch {
                 found: self.version,
-                expected: FORMAT_VERSION,
+                expected,
             });
         }
         Ok(())
@@ -113,6 +191,13 @@ impl CheckpointHeader {
                 field: "cc".to_string(),
                 found: t.cc.to_string(),
                 expected: live.cc.to_string(),
+            });
+        }
+        if t.backend != live.backend {
+            return Err(StateError::TopologyMismatch {
+                field: "backend".to_string(),
+                found: t.backend.clone(),
+                expected: live.backend.clone(),
             });
         }
         Ok(())
@@ -392,6 +477,14 @@ mod tests {
             n_vls: 1,
             seed: 7,
             cc: true,
+            backend: default_backend(),
+        }
+    }
+
+    fn dcqcn_digest() -> TopoDigest {
+        TopoDigest {
+            backend: "dcqcn".to_string(),
+            ..digest()
         }
     }
 
@@ -409,6 +502,8 @@ mod tests {
 
     #[test]
     fn version_bump_is_refused_with_structured_error() {
+        // v2 exists now, but it is the *dcqcn* version: an ibcc digest
+        // claiming it is still refused, naming the version ibcc writes.
         let mut h = CheckpointHeader::new(0, 0, digest());
         h.version = FORMAT_VERSION + 1;
         let text = encode(&h, &Value::Null);
@@ -418,6 +513,56 @@ mod tests {
                 assert_eq!(expected, FORMAT_VERSION);
             }
             other => panic!("want VersionMismatch, got {other:?}"),
+        }
+        // A version beyond anything this build writes is refused for
+        // either backend.
+        let mut h = CheckpointHeader::new(0, 0, dcqcn_digest());
+        h.version = FORMAT_VERSION_MAX + 1;
+        match decode(&encode(&h, &Value::Null)) {
+            Err(StateError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, FORMAT_VERSION_MAX + 1);
+                assert_eq!(expected, FORMAT_VERSION_DCQCN);
+            }
+            other => panic!("want VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dcqcn_header_round_trips_at_v2() {
+        let h = CheckpointHeader::new(5, 6, dcqcn_digest());
+        assert_eq!(h.version, FORMAT_VERSION_DCQCN);
+        let (h2, _) = decode(&encode(&h, &Value::Null)).unwrap();
+        assert_eq!(h2.topo.backend, "dcqcn");
+        assert_eq!(h2.version, FORMAT_VERSION_DCQCN);
+    }
+
+    #[test]
+    fn ibcc_digest_serialization_omits_the_backend_key() {
+        // Byte-compat guard: digests written before the backend field
+        // existed must re-encode identically, and decode with the
+        // default backend filled in.
+        let text = serde_json::to_string(&digest().to_value()).unwrap();
+        assert!(!text.contains("backend"), "{text}");
+        let back = TopoDigest::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.backend, BACKEND_IBCC);
+        let dc = serde_json::to_string(&dcqcn_digest().to_value()).unwrap();
+        assert!(dc.contains("\"backend\":\"dcqcn\""), "{dc}");
+    }
+
+    #[test]
+    fn backend_mismatch_names_found_and_expected_backend() {
+        let h = CheckpointHeader::new(0, 0, dcqcn_digest());
+        match h.validate_topo(&digest()) {
+            Err(StateError::TopologyMismatch {
+                field,
+                found,
+                expected,
+            }) => {
+                assert_eq!(field, "backend");
+                assert_eq!(found, "dcqcn");
+                assert_eq!(expected, "ibcc");
+            }
+            other => panic!("want TopologyMismatch, got {other:?}"),
         }
     }
 

@@ -1,0 +1,96 @@
+//! Process-wide congestion-control backend selector.
+//!
+//! The backends themselves live in `ibsim-cc` (`SourceCc` and the
+//! [`CcBackend`] tag); this module decides *which* backend a run uses,
+//! so that every experiment binary and library entry point agrees on
+//! one switch:
+//!
+//! * `--cc-backend {ibcc,dcqcn}` on any experiment binary calls
+//!   [`force`];
+//! * the `IBSIM_CC_BACKEND` environment variable selects it for
+//!   processes that never parse flags — the CI dcqcn leg sets it for
+//!   the whole test suite.
+//!
+//! [`apply`] rewrites a [`NetConfig`] before the network is built. It
+//! only switches backends on CC-*on* configurations: a CC-off run
+//! (`cfg.cc == None`) models the plain lossless fabric, which is the
+//! common baseline both backends are compared against — and the DCQCN
+//! backend requires the shared marking detector that only exists with
+//! CC params installed.
+
+use ibsim_cc::CcBackend;
+use ibsim_net::NetConfig;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// 0 = follow the environment, 1 = forced ibcc, 2 = forced dcqcn.
+static FORCE: AtomicU8 = AtomicU8::new(0);
+
+/// Override the environment (last call wins; `--cc-backend` uses this).
+pub fn force(b: CcBackend) {
+    FORCE.store(
+        match b {
+            CcBackend::IbCc => 1,
+            CcBackend::Dcqcn => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Drop a [`force`] override and follow `IBSIM_CC_BACKEND` again
+/// (tests that own the global toggle mutex use this to restore state).
+pub fn clear() {
+    FORCE.store(0, Ordering::Relaxed);
+}
+
+/// The selected backend: forced value if set, else `IBSIM_CC_BACKEND`,
+/// else the default IB CC.
+pub fn backend() -> CcBackend {
+    match FORCE.load(Ordering::Relaxed) {
+        1 => CcBackend::IbCc,
+        2 => CcBackend::Dcqcn,
+        _ => {
+            static ENV: OnceLock<CcBackend> = OnceLock::new();
+            *ENV.get_or_init(|| {
+                std::env::var("IBSIM_CC_BACKEND")
+                    .ok()
+                    .and_then(|s| CcBackend::parse(&s))
+                    .unwrap_or_default()
+            })
+        }
+    }
+}
+
+/// Rewrite `cfg` to run under the selected backend. CC-off configs are
+/// left alone (see the module docs); everything else gets the backend
+/// tag, with the DCQCN knobs keeping whatever the config already holds.
+pub fn apply(cfg: &mut NetConfig) {
+    if cfg.cc.is_some() {
+        cfg.cc_backend = backend();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_rewrites_cc_on_configs_only() {
+        // One test owns the global: force() must beat the environment
+        // and leave CC-off configs untouched.
+        force(CcBackend::Dcqcn);
+        let mut on = NetConfig::paper();
+        apply(&mut on);
+        assert_eq!(on.cc_backend, CcBackend::Dcqcn);
+
+        let mut off = NetConfig::paper_no_cc();
+        apply(&mut off);
+        assert_eq!(off.cc_backend, CcBackend::IbCc);
+
+        force(CcBackend::IbCc);
+        let mut on = NetConfig::paper();
+        apply(&mut on);
+        assert_eq!(on.cc_backend, CcBackend::IbCc);
+        clear();
+    }
+}

@@ -112,6 +112,7 @@ pub fn digest(net: &Network) -> TopoDigest {
         n_vls: net.cfg.n_vls as u64,
         seed: net.cfg.seed,
         cc: net.cc_enabled(),
+        backend: net.cc_backend().name().to_string(),
     }
 }
 
@@ -139,11 +140,18 @@ pub fn run_label(
     )
 }
 
-/// Deterministic checkpoint file name for one run.
+/// Deterministic checkpoint file name for one run. The backend tag is
+/// only spliced in for non-default backends, so every ibcc checkpoint
+/// keeps its pre-backend-refactor name.
 pub fn file_name(d: &TopoDigest, label: &str) -> String {
+    let backend = if d.backend == ibsim_state::BACKEND_IBCC {
+        String::new()
+    } else {
+        format!("_{}", d.backend)
+    };
     format!(
-        "ckpt_s{}h{}c{}v{}_seed{:x}_cc{}_{}.json",
-        d.switches, d.hcas, d.channels, d.n_vls, d.seed, d.cc as u8, label
+        "ckpt_s{}h{}c{}v{}_seed{:x}_cc{}{}_{}.json",
+        d.switches, d.hcas, d.channels, d.n_vls, d.seed, d.cc as u8, backend, label
     )
 }
 

@@ -153,6 +153,8 @@ pub fn run_scenario_faults(
     faults: Option<&FaultSchedule>,
 ) -> ScenarioResult {
     let inj = cfg.inj_rate;
+    let mut cfg = cfg;
+    crate::backend::apply(&mut cfg);
     let mut net = Network::new(topo, cfg);
     crate::audit::arm(&mut net);
     crate::telemetry::arm(&mut net);

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod audit;
+pub mod backend;
 pub mod bisect;
 pub mod checkpoint;
 pub mod drill;

@@ -17,7 +17,8 @@
 use ibsim::prelude::*;
 use ibsim_net::{NetworkSnapshot, NetworkState};
 use ibsim_state::{
-    diff_values, CheckpointHeader, StateError, TopoDigest, FORMAT_VERSION, MAGIC,
+    diff_values, CheckpointHeader, StateError, TopoDigest, FORMAT_VERSION,
+    FORMAT_VERSION_DCQCN, MAGIC,
 };
 use ibsim_telemetry::TelemetryConfig;
 use proptest::prelude::*;
@@ -40,6 +41,31 @@ fn loaded_net(seed: u64, cc: bool, faults: bool) -> Network {
     if !cc {
         cfg.cc = None;
     }
+    let mut net = Network::new(&topo, cfg);
+    net.enable_audit(20_000);
+    net.enable_telemetry(TelemetryConfig::every(TimeDelta::from_us(50)));
+    if faults {
+        let schedule = FaultSchedule::from_spec(FAULT_SPEC, seed).expect("valid fault spec");
+        net.install_faults(schedule);
+    }
+    let roles = RoleSpec {
+        num_nodes: topo.num_hcas,
+        num_hotspots: 1,
+        b_pct: 0,
+        b_p: 0,
+        c_pct_of_rest: 80,
+    };
+    let _sc = Scenario::install_opts(roles, &mut net, PAPER_MSG_BYTES, true);
+    net
+}
+
+/// The dcqcn twin of [`loaded_net`]: same fabric, scenario and overlays,
+/// but the congestion control runs the DCQCN/PFC backend (rate machine
+/// state on every HCA, pause state on every switch port — all of which
+/// the v2 checkpoint must carry).
+fn loaded_dcqcn_net(seed: u64, faults: bool) -> Network {
+    let topo = FatTreeSpec::TEST_8.build();
+    let cfg = NetConfig::paper_dcqcn().with_seed(seed);
     let mut net = Network::new(&topo, cfg);
     net.enable_audit(20_000);
     net.enable_telemetry(TelemetryConfig::every(TimeDelta::from_us(50)));
@@ -117,6 +143,46 @@ fn roundtrip_at_zero_and_at_horizon() {
     // Degenerate capture points: before the first event and at the end.
     assert_roundtrip(7, true, true, 0, 400_000_000);
     assert_roundtrip(7, true, true, 400_000_000, 400_000_000);
+}
+
+/// The dcqcn identity check: a v2 checkpoint mid-run — rate machines in
+/// every increase stage, standing pauses, queued CNPs — restores onto a
+/// fresh dcqcn fabric and reaches byte-identical state at the horizon.
+fn assert_dcqcn_roundtrip(seed: u64, faults: bool, ck_at_ps: u64, horizon_ps: u64) {
+    let ck_at = Time(ck_at_ps);
+    let horizon = Time(horizon_ps);
+
+    let mut straight = loaded_dcqcn_net(seed, faults);
+    straight.run_until(ck_at);
+    let saved = straight.checkpoint();
+    straight.run_until(horizon);
+    let want = straight.checkpoint();
+
+    let mut resumed = loaded_dcqcn_net(seed, faults);
+    resumed
+        .restore(&saved)
+        .expect("restore onto an identically configured dcqcn fabric");
+    resumed.run_until(horizon);
+    let got = resumed.checkpoint();
+
+    if want != got {
+        let diffs = diff_values(&want.to_value(), &got.to_value(), 10);
+        panic!(
+            "resumed dcqcn state diverged (seed={seed} faults={faults} ck={ck_at_ps}):\n{}",
+            ibsim_state::render_diff(&diffs)
+        );
+    }
+}
+
+#[test]
+fn roundtrip_dcqcn_inside_fault_window() {
+    // 350 µs: the flap window is open and CNP-loss coin flips are live.
+    assert_dcqcn_roundtrip(0x1B51_C0DE, true, 350_000_000, 700_000_000);
+}
+
+#[test]
+fn roundtrip_dcqcn_no_faults() {
+    assert_dcqcn_roundtrip(0x1B51_C0DE, false, 250_000_000, 700_000_000);
 }
 
 proptest! {
@@ -207,6 +273,70 @@ fn checkpoint_from_different_fabric_is_rejected_naming_the_field() {
     // The state-level restore also refuses, naming the count mismatch.
     let err = other.restore(&state).expect_err("cross-fabric restore must fail");
     assert!(err.contains("switches"), "unhelpful error: {err}");
+}
+
+#[test]
+fn dcqcn_checkpoint_into_ibcc_fabric_is_refused_naming_backends() {
+    // Header gate: the topology digest carries the backend tag, and a
+    // dcqcn checkpoint offered to an ibcc fabric is refused *before*
+    // any state is decoded, naming both tags.
+    let mut dc = loaded_dcqcn_net(3, true);
+    dc.run_until(Time::from_us(200));
+    let digest = ibsim::checkpoint::digest(&dc);
+    assert_eq!(digest.backend, "dcqcn");
+    let header = CheckpointHeader::new(dc.now().as_ps(), dc.events_processed(), digest);
+    assert_eq!(header.version, FORMAT_VERSION_DCQCN);
+
+    let ib = loaded_net(3, true, true);
+    match header.validate_topo(&ibsim::checkpoint::digest(&ib)) {
+        Err(StateError::TopologyMismatch {
+            field,
+            found,
+            expected,
+        }) => {
+            assert_eq!(field, "backend");
+            assert_eq!(found, "dcqcn");
+            assert_eq!(expected, "ibcc");
+        }
+        other => panic!("expected TopologyMismatch on backend, got {other:?}"),
+    }
+
+    // State gate: even a bare state-tree restore (no header in the
+    // path) refuses the mix. The switch guard fires first — a dcqcn
+    // tree carries PFC sections an ibcc switch has no home for; the
+    // per-HCA cc guard behind it names both backends (pinned by
+    // `restore_refuses_a_backend_mismatch` in `ibsim-cc`).
+    let mut ib = ib;
+    let err = ib
+        .restore(&dc.checkpoint())
+        .expect_err("cross-backend restore must fail");
+    assert!(
+        err.contains("pfc") || err.contains("backend mismatch"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
+fn dcqcn_header_claiming_v1_is_rejected() {
+    // The version gate is backend-aware: a dcqcn digest must carry v2,
+    // so a header claiming the ibcc version is refused with the version
+    // dcqcn checkpoints are written at.
+    let mut dc = loaded_dcqcn_net(3, false);
+    dc.run_until(Time::from_us(100));
+    let mut header = CheckpointHeader::new(
+        dc.now().as_ps(),
+        dc.events_processed(),
+        ibsim::checkpoint::digest(&dc),
+    );
+    header.version = FORMAT_VERSION;
+    let text = ibsim_state::encode(&header, &dc.checkpoint());
+    match ibsim_state::decode(&text) {
+        Err(StateError::VersionMismatch { found, expected }) => {
+            assert_eq!(found, FORMAT_VERSION);
+            assert_eq!(expected, FORMAT_VERSION_DCQCN);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
 }
 
 #[test]
@@ -357,7 +487,14 @@ fn golden_path(name: &str) -> std::path::PathBuf {
 /// Compare a freshly produced checkpoint against a committed golden
 /// file *structurally* (header equality + field-by-field state diff),
 /// so a failure names drifted fields instead of dumping two JSON blobs.
-fn assert_matches_golden(name: &str, header: &CheckpointHeader, state: &NetworkState) {
+/// `restore_into` is a fresh fabric configured like the one the golden
+/// was taken on; the decoded golden must restore and run on it.
+fn assert_matches_golden(
+    name: &str,
+    header: &CheckpointHeader,
+    state: &NetworkState,
+    mut restore_into: Network,
+) {
     let path = golden_path(name);
     let text = ibsim_state::encode(header, state);
     if std::env::var("IBSIM_BLESS").is_ok() {
@@ -386,9 +523,8 @@ fn assert_matches_golden(name: &str, header: &CheckpointHeader, state: &NetworkS
     );
     // And the golden file still restores and runs on a live fabric.
     let decoded = NetworkState::from_value(&golden_state).expect("golden state decodes");
-    let mut net = loaded_net(0x1B51_C0DE, true, true);
-    net.restore(&decoded).expect("golden state restores");
-    net.run_until(Time::from_us(700));
+    restore_into.restore(&decoded).expect("golden state restores");
+    restore_into.run_until(Time::from_us(700));
 }
 
 /// TEST_8-scale golden: runs on every `cargo test`.
@@ -401,7 +537,35 @@ fn golden_tiny_checkpoint_is_stable() {
         net.events_processed(),
         ibsim::checkpoint::digest(&net),
     );
-    assert_matches_golden("tiny_test8.ckpt.json", &header, &net.checkpoint());
+    assert_matches_golden(
+        "tiny_test8.ckpt.json",
+        &header,
+        &net.checkpoint(),
+        loaded_net(0x1B51_C0DE, true, true),
+    );
+}
+
+/// Format-v2 golden: the dcqcn twin of the tiny golden, capturing rate
+/// machines, PFC pause state and queued CNPs at the same instant. The
+/// committed file pins the v2 schema itself — any drift in the
+/// backend-tagged state tree fails here naming the field.
+#[test]
+fn golden_tiny_dcqcn_checkpoint_is_stable() {
+    let mut net = loaded_dcqcn_net(0x1B51_C0DE, true);
+    net.run_until(Time::from_us(350));
+    let header = CheckpointHeader::new(
+        net.now().as_ps(),
+        net.events_processed(),
+        ibsim::checkpoint::digest(&net),
+    );
+    assert_eq!(header.version, FORMAT_VERSION_DCQCN);
+    assert_eq!(header.topo.backend, "dcqcn");
+    assert_matches_golden(
+        "tiny_test8_dcqcn.ckpt.json",
+        &header,
+        &net.checkpoint(),
+        loaded_dcqcn_net(0x1B51_C0DE, true),
+    );
 }
 
 /// The committed tiny golden, reproduced under every shard count. The
@@ -422,7 +586,12 @@ fn golden_tiny_checkpoint_is_stable_under_shards() {
             net.events_processed(),
             ibsim::checkpoint::digest(&net),
         );
-        assert_matches_golden("tiny_test8.ckpt.json", &header, &net.checkpoint());
+        assert_matches_golden(
+            "tiny_test8.ckpt.json",
+            &header,
+            &net.checkpoint(),
+            loaded_net(0x1B51_C0DE, true, true),
+        );
     }
 }
 
