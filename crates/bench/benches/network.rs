@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ibsim::prelude::*;
-use ibsim_net::Network;
+use ibsim_net::{Network, TelemetryConfig};
 
 /// Run uniform all-to-all on the given fat tree for `sim_us` and report
 /// how many events that took.
@@ -32,6 +32,42 @@ fn run_uniform_sharded(spec: FatTreeSpec, sim_us: u64, cc: bool, shards: usize) 
     net.events_processed()
 }
 
+/// As [`run_uniform`], with observability layers on. `telemetry` turns
+/// on the 100 µs sampler + flight recorder, `trace` traces every flow
+/// into node 0, `profile` arms the per-subsystem self-profiler. The
+/// events/s ratio against the matching plain bench *is* the overhead
+/// the BENCH_CORE.json envelope documents (and, for telemetry,
+/// tools/bench_gate.py gates).
+fn run_uniform_observed(
+    spec: FatTreeSpec,
+    sim_us: u64,
+    cc: bool,
+    telemetry: bool,
+    trace: bool,
+    profile: bool,
+) -> u64 {
+    let topo = spec.build();
+    let cfg = ibsim_bench::bench_cfg(cc);
+    let mut net = Network::new(&topo, cfg);
+    if telemetry {
+        net.enable_telemetry(TelemetryConfig::every(TimeDelta::from_us(100)));
+    }
+    if trace {
+        net.enable_trace((1..topo.num_hcas as u32).map(|n| (n, 0)));
+    }
+    if profile {
+        net.enable_profile();
+    }
+    for n in 0..topo.num_hcas as u32 {
+        net.set_classes(
+            n,
+            vec![TrafficClass::new(100, DestPattern::UniformExceptSelf, 4096)],
+        );
+    }
+    net.run_until(Time::from_us(sim_us));
+    net.events_processed()
+}
+
 fn network_benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("network_throughput");
     g.sample_size(10);
@@ -54,6 +90,21 @@ fn network_benches(c: &mut Criterion) {
         g.throughput(Throughput::Elements(events));
         g.bench_function(format!("fat8_cc_{}", if cc { "on" } else { "off" }), |b| {
             b.iter(|| run_uniform(FatTreeSpec::TEST_8, 200, cc));
+        });
+    }
+    // Observability overhead on the CC-on workload, both observing the
+    // identical event stream (byte-identity is pinned in
+    // tests/determinism.rs). `fat8_telemetry_on` is the gated number:
+    // sampler + flight recorder only, the always-affordable layer.
+    // `fat8_obs_on` piles on per-flow tracing and the self-profiler —
+    // the full diagnostic stack you turn on when chasing a bug, where
+    // the two clock reads per event dominate.
+    for (name, trace, profile) in [("fat8_telemetry_on", false, false), ("fat8_obs_on", true, true)]
+    {
+        let events = run_uniform_observed(FatTreeSpec::TEST_8, 200, true, true, trace, profile);
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(name, |b| {
+            b.iter(|| run_uniform_observed(FatTreeSpec::TEST_8, 200, true, true, trace, profile));
         });
     }
     // The sharded executor at paper scale: byte-identical results, so

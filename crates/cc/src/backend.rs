@@ -431,6 +431,21 @@ impl DcqcnCc {
         Self::pseudo_ccti(self.min_rate_ppm())
     }
 
+    /// One flow's brake depth on the shared 0..=127 gauge.
+    pub fn pseudo_ccti_of(&self, key: FlowKey) -> u16 {
+        Self::pseudo_ccti(self.rate_ppm(key))
+    }
+
+    /// Extra per-packet quiet time the flow's current rate imposes on a
+    /// packet occupying the line for `pkt_time`. Purely observational.
+    pub fn inject_delay(&self, key: FlowKey, pkt_time: TimeDelta) -> TimeDelta {
+        let r = self.rate_ppm(key);
+        if r >= LINE_RATE_PPM {
+            return TimeDelta::ZERO;
+        }
+        TimeDelta(pkt_time.as_ps() * (LINE_RATE_PPM - r) as u64 / r as u64)
+    }
+
     pub fn sum_pseudo_ccti(&self) -> u64 {
         self.flows
             .iter()
@@ -705,6 +720,26 @@ impl SourceCc {
         match self {
             SourceCc::Ib(c) => c.sum_ccti(),
             SourceCc::Dcqcn(c) => c.sum_pseudo_ccti(),
+        }
+    }
+
+    /// One flow's brake depth on the shared 0..=127 gauge (true CCTI
+    /// for IB, rate-derived pseudo-CCTI for DCQCN). Observational —
+    /// the causal tracer differences this across a notification.
+    pub fn flow_ccti(&self, key: FlowKey) -> u16 {
+        match self {
+            SourceCc::Ib(c) => c.ccti(key),
+            SourceCc::Dcqcn(c) => c.pseudo_ccti_of(key),
+        }
+    }
+
+    /// Extra per-packet quiet time the flow's current brake imposes on
+    /// a packet occupying the line for `pkt_time` (IRD delay for IB,
+    /// rate-gap quiet time for DCQCN). Zero when the flow is open.
+    pub fn inject_delay(&self, key: FlowKey, pkt_time: TimeDelta) -> TimeDelta {
+        match self {
+            SourceCc::Ib(c) => c.params().cct.ird_delay(c.ccti(key), pkt_time),
+            SourceCc::Dcqcn(c) => c.inject_delay(key, pkt_time),
         }
     }
 

@@ -31,6 +31,8 @@ fn main() {
     args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
+    args.apply_trace();
+    args.apply_profile();
     args.apply_checkpoint();
     let preset = args.preset();
     let spec = args.get("faults").unwrap_or(DEFAULT_SPEC);

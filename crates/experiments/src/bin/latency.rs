@@ -27,6 +27,8 @@ fn run_point(topo: &Topology, cfg: &NetConfig, p: &Point, measure: TimeDelta) ->
     }
     let mut net = Network::new(topo, c);
     ibsim::audit::arm(&mut net);
+    ibsim::trace::arm(&mut net);
+    ibsim::profile::arm(&mut net);
     for n in 0..topo.num_hcas as u32 {
         net.set_classes(
             n,
@@ -41,6 +43,8 @@ fn run_point(topo: &Topology, cfg: &NetConfig, p: &Point, measure: TimeDelta) ->
     net.start_measurement();
     net.run_until(Time::ZERO + measure + measure);
     net.stop_measurement();
+    ibsim::trace::finish(&net, if p.cc { "cc_on" } else { "cc_off" });
+    ibsim::profile::finish(&net, if p.cc { "cc_on" } else { "cc_off" });
     net.audit_now().raise();
     let lat = net.latency_histogram();
     let rx: f64 = (0..topo.num_hcas as u32)
@@ -57,6 +61,8 @@ fn main() {
     args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
+    args.apply_trace();
+    args.apply_profile();
     args.apply_checkpoint();
     let preset = args.preset();
     let topo = preset.topology();

@@ -19,6 +19,8 @@ fn main() {
     args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
+    args.apply_trace();
+    args.apply_profile();
     args.apply_checkpoint();
     let Some(path) = args.positionals.first() else {
         eprintln!("usage: simulate <spec.json> [--json]");

@@ -24,6 +24,8 @@ fn main() {
     args.apply_cc_backend();
     args.apply_shards();
     args.apply_telemetry();
+    args.apply_trace();
+    args.apply_profile();
     args.apply_checkpoint();
     let preset = args.preset();
     let x = args.get_u32("x", 25);

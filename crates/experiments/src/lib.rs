@@ -199,6 +199,37 @@ impl Args {
             ibsim::telemetry::set_out_dir(self.out_dir());
         }
     }
+
+    /// Apply the shared `--trace-flows SRC:DST[,SRC:DST…]` flag (or
+    /// `--trace-flows hotspots` to trace every flow into the run's
+    /// seed-drawn hotspots): trace those flows hop by hop in every run
+    /// this process performs, exporting `trace_*.json` (Perfetto) and
+    /// `trace_*.csv` to `--trace-out` (default: the `--out`
+    /// directory). Tracing never changes simulation output — it only
+    /// observes. Without the flag the environment
+    /// (`IBSIM_TRACE_FLOWS`) still decides.
+    pub fn apply_trace(&self) {
+        if let Some(spec) = self.get("trace-flows") {
+            let flows =
+                ibsim::trace::parse_flows(spec).unwrap_or_else(|e| panic!("--trace-flows: {e}"));
+            ibsim::trace::force(Some(flows));
+            match self.get("trace-out") {
+                Some(dir) => ibsim::trace::set_out_dir(dir),
+                None => ibsim::trace::set_out_dir(self.out_dir()),
+            }
+        }
+    }
+
+    /// Apply the shared `--profile` flag: bin every run's hot-path time
+    /// by engine subsystem and write `profile_*.json` to the `--out`
+    /// directory. Purely observational. Without the flag the
+    /// environment (`IBSIM_PROFILE`) still decides.
+    pub fn apply_profile(&self) {
+        if self.get_flag("profile") {
+            ibsim::profile::force(true);
+            ibsim::profile::set_out_dir(self.out_dir());
+        }
+    }
 }
 
 /// Format a float with 3 decimals for tables.

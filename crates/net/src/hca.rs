@@ -294,6 +294,14 @@ impl Hca {
         Some(dt)
     }
 
+    /// Peek the packet the sink is currently draining (the one the next
+    /// `finish_drain` will consume), without touching the pipeline. The
+    /// tracer reads CC state on either side of a CNP delivery through
+    /// this.
+    pub fn draining_packet(&self, pool: &PacketPool) -> Option<Packet> {
+        self.draining.map(|h| *pool.get(h))
+    }
+
     /// The sink finished draining the current packet at `now`. Performs
     /// delivery accounting (or BECN processing for CNPs), releases the
     /// packet's pool slot, and returns the packet for credit release.

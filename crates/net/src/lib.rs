@@ -26,7 +26,9 @@ pub mod gen;
 pub mod hca;
 pub mod network;
 pub mod pool;
+pub mod profile;
 pub(crate) mod shard;
+pub mod span;
 pub mod state;
 pub mod switch;
 pub mod telemetry;
@@ -49,6 +51,8 @@ pub use switch::{SwPortState, Switch, SwitchState};
 pub use telemetry::{
     FlightDump, FlightEvent, FlightKind, NetTelemetry, NetTelemetryState, TelemetryConfig,
 };
-pub use trace::{TracePoint, TraceRecord, Tracer};
+pub use profile::{EngineProfiler, ProfileReport, Subsystem};
+pub use span::{causal_chains, chrome_trace_json, records_csv, CausalChain};
+pub use trace::{TraceCtx, TracePoint, TraceRecord, Tracer};
 pub use types::{blocks_for, NodeId, Packet, PacketKind, Vl, BLOCK_BYTES, CNP_BYTES};
 pub use vlarb::{VlArbState, VlArbTable, VlArbiter, VlWeight};

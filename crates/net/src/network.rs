@@ -5,9 +5,10 @@ use crate::config::NetConfig;
 use crate::gen::TrafficClass;
 use crate::hca::{Hca, NextSend};
 use crate::pool::{PacketPool, PktHandle};
+use crate::profile::{EngineProfiler, ProfileReport, Subsystem};
 use crate::switch::{Grant, Switch};
-use crate::telemetry::{FlightKind, NetTelemetry, TelemetryConfig};
-use crate::trace::{TracePoint, Tracer};
+use crate::telemetry::{FabricView, FlightKind, NetTelemetry, TelemetryConfig};
+use crate::trace::{TraceCtx, TracePoint, Tracer};
 use crate::types::{NodeId, Packet, Vl};
 use ibsim_cc::{CcBackend, DcqcnCc, HcaCc, SourceCc};
 use ibsim_engine::queue::EventQueue;
@@ -102,7 +103,17 @@ pub struct Network {
     pub hcas: Vec<Hca>,
     pub channels: Vec<Channel>,
     cc_params: Option<Arc<ibsim_cc::CcParams>>,
-    tracer: Option<Tracer>,
+    pub(crate) tracer: Option<Tracer>,
+    /// The engine self-profiler (`--profile`); `None` costs one branch
+    /// per event. Purely observational: it reads the monotonic clock
+    /// around work that already happens and never touches simulation
+    /// state.
+    pub(crate) prof: Option<Box<EngineProfiler>>,
+    /// Shard-side observability buffer: present only on *shard*
+    /// networks while the master samples telemetry. Flight events land
+    /// here in dispatch order and merge into the master recorder at the
+    /// window barrier, in replayed `(time, true-key)` order.
+    pub(crate) obs_buf: Option<Box<crate::shard::ObsBuf>>,
     /// The invariant oracle; `None` costs one branch per event.
     pub(crate) audit: Option<Box<NetAudit>>,
     /// The fault-injection state machine; `None` (the default, and any
@@ -261,6 +272,8 @@ impl Network {
             channels,
             cc_params,
             tracer: None,
+            prof: None,
+            obs_buf: None,
             audit: None,
             faults: None,
             telemetry: None,
@@ -352,7 +365,13 @@ impl Network {
         subject: impl Into<String>,
         detail: impl Into<String>,
     ) {
-        if let Some(t) = &mut self.telemetry {
+        if let Some(b) = &mut self.obs_buf {
+            // Shard-side: buffer under the dispatch timestamp (the
+            // shard's main-queue clock is stale for window-queue pops);
+            // the coordinator replays these into the master recorder.
+            let at = b.now;
+            b.flight.push((at, kind, subject.into(), detail.into()));
+        } else if let Some(t) = &mut self.telemetry {
             t.flight.record(self.queue.now(), kind, subject, detail);
         }
     }
@@ -521,11 +540,46 @@ impl Network {
         self.tracer.as_ref()
     }
 
-    #[inline]
-    fn trace(&mut self, at: Time, pkt: &Packet, point: TracePoint) {
-        if let Some(t) = &mut self.tracer {
-            t.record(at, pkt.src, pkt.dst, pkt.seq, point);
+    /// Turn the engine self-profiler on: every subsequent dispatched
+    /// event, queue pop, telemetry sample and audit pass is binned by
+    /// subsystem with its wall-clock cost. Byte-identical simulation
+    /// outputs — the profiler only reads the monotonic clock.
+    pub fn enable_profile(&mut self) {
+        if self.prof.is_none() {
+            self.prof = Some(Box::new(EngineProfiler::new()));
         }
+    }
+
+    pub fn profile_enabled(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// The per-run profile breakdown (`None` when profiling is off).
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.prof.as_ref().map(|p| p.report(self.queue.processed()))
+    }
+
+    #[inline]
+    fn trace(&mut self, at: Time, pkt: &Packet, point: TracePoint, ctx: TraceCtx) {
+        if let Some(t) = &mut self.tracer {
+            t.record(at, pkt.src, pkt.dst, pkt.seq, pkt.is_cnp(), point, ctx);
+        }
+    }
+
+    /// Record a fabric-scoped CC point (PFC pause edges); unfiltered.
+    #[inline]
+    fn trace_cc(&mut self, at: Time, point: TracePoint, ctx: TraceCtx) {
+        if let Some(t) = &mut self.tracer {
+            t.record_cc(at, point, ctx);
+        }
+    }
+
+    /// Should dispatch paths format flight-recorder notes? True with
+    /// telemetry on (serial / master) or with a shard-side buffer
+    /// installed (sharded run whose master samples telemetry).
+    #[inline]
+    fn flight_on(&self) -> bool {
+        self.telemetry.is_some() || self.obs_buf.is_some()
     }
 
     /// Schedule the initial events. Call once, before `run_until`.
@@ -616,20 +670,21 @@ impl Network {
     /// next batch at that time.
     pub fn run_until(&mut self, t: Time) {
         // The sharded executor replicates the serial event stream
-        // exactly, but not the serial *observation* stream: telemetry
-        // samples and flow traces fire mid-window on whichever shard
-        // holds the device, in nondeterministic wall-clock order. Those
-        // instruments therefore pin the run to the serial loop. (BECN
-        // losses consume a shared fault RNG and force serial too; that
-        // is decided once in `set_shards`.)
-        if self.shards.is_some() && self.telemetry.is_none() && self.tracer.is_none() {
+        // exactly — and the serial *observation* stream with it:
+        // telemetry boundaries cap the conservative windows so every
+        // sample reads barrier-consistent global state, and trace/
+        // flight records buffered on the shards merge at the barrier in
+        // replayed (time, true-key) order. Only BECN-loss faults still
+        // force serial (shared RNG stream in global CNP-arrival order);
+        // that is decided once in `set_shards`.
+        if self.shards.is_some() {
             return self.run_until_sharded(t);
         }
         if !self.primed {
             self.prime();
         }
         let mut batch = std::mem::take(&mut self.batch);
-        while let Some(at) = self.queue.pop_batch_until(t, &mut batch) {
+        while let Some(at) = self.pop_batch_timed(t, &mut batch) {
             for i in 0..batch.len() {
                 let (seq, ev) = batch[i];
                 self.queue.note_dispatched(at, seq);
@@ -643,9 +698,9 @@ impl Network {
                     self.telemetry_sample(at, false);
                     self.batch_undispatched = 0;
                 }
-                self.dispatch(at, ev);
+                self.dispatch_timed(at, ev);
                 if self.audit_due() {
-                    self.audit_checked().raise();
+                    self.audit_timed();
                 }
             }
             batch.clear();
@@ -657,19 +712,75 @@ impl Network {
         }
     }
 
+    /// The sampler's read-only view of this network (serial path).
+    pub(crate) fn fabric_view(&self) -> FabricView<'_> {
+        FabricView {
+            hcas: self.hcas.iter().collect(),
+            switches: self.switches.iter().collect(),
+            events_processed: self.queue.processed(),
+            queue_depth: self.queue_depth(),
+        }
+    }
+
     /// Take/restore dance around `&mut telemetry` + `&self` sampling.
     /// Samples boundaries `< at` (or `≤ at` when `inclusive`).
     fn telemetry_sample(&mut self, at: Time, inclusive: bool) {
         if let Some(mut tel) = self.telemetry.take() {
+            let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
             while if inclusive {
                 tel.due_at(at)
             } else {
                 tel.due_before(at)
             } {
                 let b = tel.pop_boundary();
-                tel.sample(b, self);
+                tel.sample(b, &self.fabric_view());
+            }
+            if let (Some(t0), Some(p)) = (t0, self.prof.as_deref_mut()) {
+                p.record(Subsystem::Telemetry, t0.elapsed().as_nanos() as u64);
             }
             self.telemetry = Some(tel);
+        }
+    }
+
+    /// `pop_batch_until`, attributed to [`Subsystem::QueuePop`] when
+    /// profiling.
+    #[inline]
+    fn pop_batch_timed(&mut self, t: Time, batch: &mut Vec<(u64, Event)>) -> Option<Time> {
+        if self.prof.is_none() {
+            return self.queue.pop_batch_until(t, batch);
+        }
+        let t0 = std::time::Instant::now();
+        let r = self.queue.pop_batch_until(t, batch);
+        let ns = t0.elapsed().as_nanos() as u64;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.record(Subsystem::QueuePop, ns);
+        }
+        r
+    }
+
+    /// `dispatch`, attributed to the event kind's subsystem when
+    /// profiling. The off cost is one branch.
+    #[inline]
+    pub(crate) fn dispatch_timed(&mut self, at: Time, ev: Event) {
+        if self.prof.is_none() {
+            return self.dispatch(at, ev);
+        }
+        let s = Network::subsystem_of(&ev);
+        let t0 = std::time::Instant::now();
+        self.dispatch(at, ev);
+        let ns = t0.elapsed().as_nanos() as u64;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.record(s, ns);
+        }
+    }
+
+    /// A due periodic audit pass, attributed to [`Subsystem::Audit`]
+    /// when profiling.
+    fn audit_timed(&mut self) {
+        let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
+        self.audit_checked().raise();
+        if let (Some(t0), Some(p)) = (t0, self.prof.as_deref_mut()) {
+            p.record(Subsystem::Audit, t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -683,7 +794,7 @@ impl Network {
         }
         let mut last = self.queue.now();
         let mut batch = std::mem::take(&mut self.batch);
-        while let Some(at) = self.queue.pop_batch_until(Time::MAX, &mut batch) {
+        while let Some(at) = self.pop_batch_timed(Time::MAX, &mut batch) {
             // Lazily sampled before the first event actually dispatched
             // at `at` — a batch of nothing but dropped ticks samples
             // nothing, exactly like the one-pop loop did.
@@ -705,9 +816,9 @@ impl Network {
                     }
                     sampled = true;
                 }
-                self.dispatch(at, ev);
+                self.dispatch_timed(at, ev);
                 if self.audit_due() {
-                    self.audit_checked().raise();
+                    self.audit_timed();
                 }
                 if !is_tick {
                     last = at;
@@ -896,6 +1007,23 @@ impl Network {
         }
     }
 
+    /// Which profiler bin an event kind's dispatch belongs to.
+    pub(crate) fn subsystem_of(ev: &Event) -> Subsystem {
+        match ev {
+            Event::SwArrive { .. } => Subsystem::Routing,
+            Event::SwTxDone { .. } | Event::SwTryArb { .. } | Event::SwCredit { .. } => {
+                Subsystem::Arbitration
+            }
+            Event::HcaTxDone { .. } | Event::HcaTrySend { .. } | Event::HcaCredit { .. } => {
+                Subsystem::Inject
+            }
+            Event::HcaArrive { .. } | Event::SinkDone { .. } => Subsystem::Sink,
+            Event::CctiTick { .. } => Subsystem::Cc,
+            Event::Fault { .. } => Subsystem::Fault,
+            Event::PfcSw { .. } | Event::PfcHca { .. } => Subsystem::Pfc,
+        }
+    }
+
     pub(crate) fn dispatch(&mut self, now: Time, ev: Event) {
         match ev {
             Event::SwArrive { ch, h } => self.on_sw_arrive(now, ch, h),
@@ -948,6 +1076,19 @@ impl Network {
             }
             Event::Fault { idx } => self.on_fault(now, idx),
             Event::PfcSw { sw, port, vl, xoff } => {
+                self.trace_cc(
+                    now,
+                    TracePoint::Pfc {
+                        at_switch: true,
+                        node: sw,
+                        port,
+                        xoff,
+                    },
+                    TraceCtx {
+                        vl,
+                        ..TraceCtx::default()
+                    },
+                );
                 self.switches[sw as usize].set_tx_paused(port, vl, xoff);
                 if !xoff {
                     // Resume: whatever queued behind the pause gets an
@@ -956,6 +1097,19 @@ impl Network {
                 }
             }
             Event::PfcHca { hca, vl, xoff } => {
+                self.trace_cc(
+                    now,
+                    TracePoint::Pfc {
+                        at_switch: false,
+                        node: hca,
+                        port: 0,
+                        xoff,
+                    },
+                    TraceCtx {
+                        vl,
+                        ..TraceCtx::default()
+                    },
+                );
                 self.hcas[hca as usize].cc.set_tx_paused(vl as usize, xoff);
                 if !xoff {
                     self.schedule_hca_wakeup(hca, now);
@@ -995,7 +1149,7 @@ impl Network {
             Some(f) => f.apply(idx as usize),
             None => unreachable!("Fault event without an installed schedule"),
         };
-        if self.telemetry.is_some() {
+        if self.flight_on() {
             self.flight_note(
                 FlightKind::FaultTransition,
                 format!("fault{idx}"),
@@ -1041,14 +1195,27 @@ impl Network {
             unreachable!("SwArrive on a non-switch endpoint")
         };
         let pkt = *self.pool.get(h);
-        self.trace(
-            now,
-            &pkt,
-            TracePoint::SwitchArrive {
-                switch: si,
-                in_port,
-            },
-        );
+        if self.tracer.is_some() {
+            // Context at ingress: depth of the VoQ set feeding the
+            // egress this packet routes to, and that egress's credits —
+            // the two numbers that decide how long it will wait here.
+            let sw = &self.switches[si as usize];
+            let out = sw.route(pkt.dst);
+            let ctx = TraceCtx {
+                vl: pkt.vl,
+                voq: sw.queued_toward(out) as u32,
+                credit: sw.credit(out, pkt.vl),
+            };
+            self.trace(
+                now,
+                &pkt,
+                TracePoint::SwitchArrive {
+                    switch: si,
+                    in_port,
+                },
+                ctx,
+            );
+        }
         if let Some(a) = &mut self.audit {
             a.note_arrive(ch, pkt.vl, pkt.blocks());
         }
@@ -1093,16 +1260,28 @@ impl Network {
         else {
             return;
         };
-        self.trace(
-            now,
-            &pkt,
-            TracePoint::Forward {
-                switch: si,
-                out_port: port,
-                fecn: pkt.fecn,
-            },
-        );
-        if pkt.fecn && self.telemetry.is_some() {
+        if self.tracer.is_some() {
+            // Context at grant: what is still queued behind this packet
+            // toward the same egress, and the credits left after the
+            // grant consumed its blocks.
+            let sw = &self.switches[si as usize];
+            let ctx = TraceCtx {
+                vl: pkt.vl,
+                voq: sw.queued_toward(port) as u32,
+                credit: sw.credit(port, pkt.vl),
+            };
+            self.trace(
+                now,
+                &pkt,
+                TracePoint::Forward {
+                    switch: si,
+                    out_port: port,
+                    fecn: pkt.fecn,
+                },
+                ctx,
+            );
+        }
+        if pkt.fecn && self.flight_on() {
             self.flight_note(
                 FlightKind::Mark,
                 format!("sw{si}.p{port}"),
@@ -1177,7 +1356,18 @@ impl Network {
                 if let Some(a) = &mut self.audit {
                     a.note_send(out_ch, pkt.vl, pkt.blocks());
                 }
-                self.trace(now, &pkt, TracePoint::Inject);
+                if self.tracer.is_some() {
+                    // Context at injection: CNPs still queued ahead of
+                    // data (strict priority) and link credits on the VL
+                    // the packet leaves on.
+                    let h = &self.hcas[hi as usize];
+                    let ctx = TraceCtx {
+                        vl: pkt.vl,
+                        voq: h.pending_cnps() as u32,
+                        credit: h.credits[pkt.vl as usize],
+                    };
+                    self.trace(now, &pkt, TracePoint::Inject, ctx);
+                }
                 // The packet enters the arena here and leaves it at the
                 // destination sink (or a sanctioned BECN drop).
                 let hp = self.pool.alloc(pkt);
@@ -1224,7 +1414,15 @@ impl Network {
         };
         let cc_on = self.cc_params.is_some();
         let pkt = *self.pool.get(h);
-        self.trace(now, &pkt, TracePoint::Arrive);
+        if self.tracer.is_some() {
+            let hca = &self.hcas[hi as usize];
+            let ctx = TraceCtx {
+                vl: pkt.vl,
+                voq: hca.sink_depth() as u32,
+                credit: hca.credits[pkt.vl as usize],
+            };
+            self.trace(now, &pkt, TracePoint::Arrive, ctx);
+        }
         if let Some(a) = &mut self.audit {
             a.note_arrive(ch, pkt.vl, pkt.blocks());
         }
@@ -1282,6 +1480,19 @@ impl Network {
             self.sched(now + dt, Event::SinkDone { hca: hi });
         }
         if had_cnp_work {
+            if self.tracer.is_some() {
+                // Causal edge: the FECN mark on this data packet just
+                // queued a CNP toward its source. Recorded under the
+                // data packet's key so the span exporter can pair
+                // mark → CNP without guessing.
+                let hca = &self.hcas[hi as usize];
+                let ctx = TraceCtx {
+                    vl: pkt.vl,
+                    voq: hca.pending_cnps() as u32,
+                    credit: hca.credits[pkt.vl as usize],
+                };
+                self.trace(now, &pkt, TracePoint::CnpQueued, ctx);
+            }
             // CNPs preempt the injector queue; try to send immediately.
             self.schedule_hca_wakeup(hi, now);
         }
@@ -1291,14 +1502,65 @@ impl Network {
     /// start the next drain.
     fn on_sink_done(&mut self, now: Time, hi: u32) {
         let cc_on = self.cc_params.is_some();
+        // Peek the drain ahead of consuming it: if a CNP is about to
+        // deliver, its flow's CCTI (pre-raise) is the causal "before"
+        // the tracer pairs with the post-`on_becn` "after".
+        let cnp_peek = if self.tracer.is_some() && cc_on {
+            let h = &self.hcas[hi as usize];
+            h.draining_packet(&self.pool)
+                .filter(|p| p.is_cnp())
+                .map(|p| (p, h.cc.flow_ccti(h.cc.flow_key(p.src, p.sl))))
+        } else {
+            None
+        };
         let (pkt, next) = {
             let h = &mut self.hcas[hi as usize];
             let pkt = h.finish_drain(now, cc_on, &mut self.pool);
             let next = h.start_drain(&self.cfg, &self.pool);
             (pkt, next)
         };
-        self.trace(now, &pkt, TracePoint::Deliver);
-        if pkt.is_cnp() && self.telemetry.is_some() {
+        if self.tracer.is_some() {
+            let (deliver_ctx, raise) = {
+                let hca = &self.hcas[hi as usize];
+                let deliver_ctx = TraceCtx {
+                    vl: pkt.vl,
+                    voq: hca.sink_depth() as u32,
+                    credit: hca.credits[pkt.vl as usize],
+                };
+                let raise = cnp_peek.map(|(cnp, before)| {
+                    let key = hca.cc.flow_key(cnp.src, cnp.sl);
+                    let after = hca.cc.flow_ccti(key);
+                    // Would the raised CCTI delay a full-MTU packet
+                    // right now? That is the IRD throttle the paper's
+                    // mechanism exists to apply (rate cut under dcqcn).
+                    let delay = hca
+                        .cc
+                        .inject_delay(key, self.cfg.link_bw.tx_time(self.cfg.mtu as u64));
+                    (cnp, before, after, delay)
+                });
+                (deliver_ctx, raise)
+            };
+            self.trace(now, &pkt, TracePoint::Deliver, deliver_ctx);
+            if let Some((cnp, before, after, delay)) = raise {
+                let ctx = TraceCtx {
+                    vl: cnp.vl,
+                    voq: deliver_ctx.voq,
+                    credit: 0,
+                };
+                self.trace(now, &cnp, TracePoint::CctiRaise { before, after }, ctx);
+                if delay > TimeDelta::ZERO {
+                    self.trace(
+                        now,
+                        &cnp,
+                        TracePoint::Throttle {
+                            delay_ps: delay.as_ps(),
+                        },
+                        ctx,
+                    );
+                }
+            }
+        }
+        if pkt.is_cnp() && self.flight_on() {
             let ccti = self.hcas[hi as usize].cc.max_ccti();
             self.flight_note(
                 FlightKind::Throttle,

@@ -46,12 +46,33 @@
 //! [`Network::checkpoint`] is byte-identical to the serial engine's at
 //! every window boundary.
 //!
+//! # How the serial *observation* stream is reproduced exactly
+//!
+//! Telemetry, tracing and profiling all ride the same replay:
+//!
+//! * **Trace records and flight notes** are captured on the shards
+//!   (each shard carries a flow-filter clone of the master tracer and
+//!   a plain [`ObsBuf`] for flight tuples) and tagged per dispatch by
+//!   [`DispatchRec::n_trace`]/[`DispatchRec::n_flight`]. The replay
+//!   copies them into the master streams in global `(time, true-key)`
+//!   order — the exact order the serial loop would have captured them
+//!   in — and synthesizes the serial loop's per-audit-pass flight note
+//!   at each cadence crossing.
+//! * **Telemetry samples** read barrier-consistent global state. The
+//!   serial loop samples a boundary `b` lazily, when the first batch
+//!   with time `> b` pops: the coordinator reproduces that by capping
+//!   every window at the next unconsumed boundary and sampling due
+//!   boundaries between windows through a [`FabricView`] assembled
+//!   across the shard guards (same counters: `events + 1` and
+//!   `depth − 1` mid-run for the already-extracted head event, plain
+//!   totals at the final flush).
+//! * **Profiler bins** are pure sums: each shard records into its own
+//!   [`EngineProfiler`] and the bins fold into the master's at the
+//!   merge, with coordination itself attributed to
+//!   [`Subsystem::Barrier`].
+//!
 //! # What falls back to the serial loop
 //!
-//! * **Telemetry or tracing enabled** — both observe mid-window state
-//!   in dispatch order across the whole fabric; reproducing their
-//!   sample streams would serialise the windows anyway (the
-//!   [`Network::run_until`] gate).
 //! * **BECN-loss fault windows** — `drop_becn` draws from one shared
 //!   RNG stream in global CNP-arrival order ([`Network::set_shards`]
 //!   declines to install). Every other fault family (flap, pause,
@@ -59,7 +80,10 @@
 //!   cleanly.
 
 use crate::network::{Dev, Event, Network};
+use crate::profile::{EngineProfiler, Subsystem};
 use crate::state::EventState;
+use crate::telemetry::{FabricView, FlightKind, NetTelemetry};
+use crate::trace::Tracer;
 use crate::NetAudit;
 use ibsim_engine::queue::EventQueue;
 use ibsim_engine::time::Time;
@@ -67,7 +91,7 @@ use ibsim_engine::QueueSnapshot;
 use ibsim_faults::{FaultAction, FaultStats};
 use ibsim_topo::{partition_leaf_groups, Topology};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Provisional keys start here: above every true sequence number a
 /// simulation can reach, so at equal times window-local events sort
@@ -132,6 +156,42 @@ pub(crate) struct DispatchRec {
     /// allocated contiguously, so the replay can assign their true
     /// sequence numbers without recording each one).
     pub n_sched: u32,
+    /// Trace records this dispatch appended to the shard tracer — the
+    /// replay copies exactly this many into the master tracer when it
+    /// reaches this dispatch, reproducing serial capture order.
+    pub n_trace: u16,
+    /// Flight notes this dispatch appended to the shard's [`ObsBuf`].
+    pub n_flight: u16,
+}
+
+/// Shard-side flight-note buffer: dispatch-order tuples the replay
+/// copies into the master [`NetTelemetry`]'s recorder under their true
+/// global order. Exists iff the master has telemetry on.
+pub(crate) struct ObsBuf {
+    /// Timestamp of the batch currently dispatching. The shard's main
+    /// queue clock goes stale for window-queue pops, so
+    /// [`Network::run_window`] pins this per batch and
+    /// [`Network::flight_note`] stamps notes with it.
+    pub now: Time,
+    pub flight: Vec<(Time, FlightKind, String, String)>,
+}
+
+impl ObsBuf {
+    pub(crate) fn new() -> Self {
+        ObsBuf {
+            now: Time(0),
+            flight: Vec::new(),
+        }
+    }
+}
+
+/// The master's instruments, taken out of the network for the duration
+/// of a sharded drive: the coordinator samples and merges into them at
+/// every window barrier, while holding all shard locks.
+pub(crate) struct MasterObs<'a> {
+    pub tel: Option<&'a mut NetTelemetry>,
+    pub trc: Option<&'a mut Tracer>,
+    pub prof: Option<&'a mut EngineProfiler>,
 }
 
 /// Event-routing overlay installed on each *shard* network. While
@@ -209,6 +269,11 @@ struct Flow {
     /// `(last_pop, processed)` at the most recent crossing — what the
     /// serial engine's last periodic pass recorded.
     cross_marks: (Option<(Time, u64)>, u64),
+    /// Sanctioned-drop count at split. Sanctioned drops only accrue
+    /// under BECN-loss faults, which decline sharding, so the count is
+    /// constant across the drive — the replay echoes it in the
+    /// `AuditPass` flight note it synthesizes at each cadence crossing.
+    sanction0: u64,
 }
 
 /// A sense-reversing spin barrier: windows are short (one lookahead of
@@ -367,8 +432,28 @@ impl Network {
         }
         let mut ex = self.shards.take().expect("gated on shards.is_some()");
         let mut flow = self.split(&mut ex);
-        drive(&mut ex, t, &mut flow);
+        // The master's instruments leave the network for the drive: the
+        // coordinator samples and merges into them at every barrier
+        // while holding all shard locks. Telemetry and tracer stay out
+        // until after the merge — its final audit pass must not record
+        // a flight note the serial loop never produced (the serial
+        // cadence notes were already synthesized during replay).
+        let mut tel = self.telemetry.take();
+        let mut trc = self.tracer.take();
+        let mut prof = self.prof.take();
+        {
+            let mut obs = MasterObs {
+                tel: tel.as_deref_mut(),
+                trc: trc.as_mut(),
+                prof: prof.as_deref_mut(),
+            };
+            drive(&mut ex, t, &mut flow, &mut obs);
+        }
+        // Profiler first: the merge folds the shard bins into it.
+        self.prof = prof;
         self.merge(&mut ex, &flow);
+        self.telemetry = tel;
+        self.tracer = trc;
         self.shards = Some(ex);
     }
 
@@ -409,6 +494,16 @@ impl Network {
                 .audit
                 .as_ref()
                 .map(|_| Box::new(NetAudit::new(n_channels, n_vls, u64::MAX)));
+            // Observability capture mirrors the master's toggles: a
+            // flow-filter clone of the tracer, a flight buffer iff
+            // telemetry is on, a private profiler iff profiling is on.
+            // All three merge into the master streams at the barriers.
+            sh.tracer = self
+                .tracer
+                .as_ref()
+                .map(|t| Tracer::for_flows(t.flows().iter().copied()));
+            sh.obs_buf = self.telemetry.as_ref().map(|_| Box::new(ObsBuf::new()));
+            sh.prof = self.prof.as_ref().map(|_| Box::new(EngineProfiler::new()));
             let installed: Vec<(Time, u64, Event)> = entries
                 .into_iter()
                 .map(|(at, seq, es)| (at, seq, es.install(&mut sh.pool)))
@@ -452,6 +547,7 @@ impl Network {
             audit_on: self.audit.is_some(),
             crossings: 0,
             cross_marks: (None, 0),
+            sanction0: self.audit.as_ref().map_or(0, |a| a.sanctioned_packets()),
         }
     }
 
@@ -512,6 +608,18 @@ impl Network {
                     .as_mut()
                     .expect("shard audits exist iff the master's does")
                     .absorb(&a);
+            }
+            // The last replay drained the shard-side capture buffers;
+            // drop them and fold the shard's profiler bins in (pure
+            // sums, so addition order does not matter).
+            debug_assert!(sh.tracer.as_ref().is_none_or(|t| t.records().is_empty()));
+            debug_assert!(sh.obs_buf.as_ref().is_none_or(|b| b.flight.is_empty()));
+            sh.tracer = None;
+            sh.obs_buf = None;
+            if let Some(p) = sh.prof.take() {
+                if let Some(m) = self.prof.as_deref_mut() {
+                    m.merge(&p);
+                }
             }
         }
         entries.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
@@ -603,6 +711,7 @@ impl Network {
             // the two per-queue batches is already in key order —
             // pre-window events first, window-local events after, just
             // as serial seq assignment orders them.
+            let p0 = self.prof.as_ref().map(|_| std::time::Instant::now());
             if tm == Some(t) {
                 self.queue.pop_batch_until(t, batch);
             }
@@ -613,14 +722,32 @@ impl Network {
                     .win
                     .pop_batch_until(t, batch);
             }
+            if let Some(t0) = p0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.record(Subsystem::QueuePop, ns);
+                }
+            }
+            if let Some(b) = self.obs_buf.as_deref_mut() {
+                // Flight notes recorded during these dispatches must
+                // carry the batch time — the shard's main-queue clock
+                // is stale for window-queue pops.
+                b.now = t;
+            }
             for &(key, ev) in batch.iter() {
                 let before = self.shard_route.as_ref().expect("shard").prov;
-                self.dispatch(t, ev);
+                let tr0 = self.tracer.as_ref().map_or(0, |tr| tr.records().len());
+                let fl0 = self.obs_buf.as_ref().map_or(0, |b| b.flight.len());
+                self.dispatch_timed(t, ev);
+                let tr1 = self.tracer.as_ref().map_or(0, |tr| tr.records().len());
+                let fl1 = self.obs_buf.as_ref().map_or(0, |b| b.flight.len());
                 let r = self.shard_route.as_mut().expect("shard");
                 r.log.push(DispatchRec {
                     at: t,
                     key,
                     n_sched: (r.prov - before) as u32,
+                    n_trace: (tr1 - tr0) as u16,
+                    n_flight: (fl1 - fl0) as u16,
                 });
             }
         }
@@ -648,9 +775,10 @@ fn add_stats_delta(merged: &mut FaultStats, shard: &FaultStats, base: &FaultStat
 /// sense-reversing barrier, crossed twice per window, alternates the
 /// two phases; the replay depends only on the per-shard logs, so the
 /// outcome is independent of thread scheduling.
-fn drive(ex: &mut ShardExec, t: Time, flow: &mut Flow) {
+fn drive(ex: &mut ShardExec, t: Time, flow: &mut Flow, obs: &mut MasterObs<'_>) {
     let n = ex.n;
     let lookahead_ps = ex.lookahead_ps;
+    let owners = ex.owners.clone();
     // On a single hardware thread, n spinning workers just timeshare
     // one core; run the identical window/replay cycle inline instead.
     // Same prologue, same run_window, same coordinate — the driver loop
@@ -661,7 +789,9 @@ fn drive(ex: &mut ShardExec, t: Time, flow: &mut Flow) {
     if single {
         let mut batch: Vec<(u64, Event)> = Vec::with_capacity(64);
         let mut cursors = vec![0usize; n];
-        while let Some(w_end) = coordinate(&ex.nets, &mut cursors, lookahead_ps, t, flow) {
+        while let Some(w_end) =
+            coordinate_timed(&ex.nets, &mut cursors, &owners, lookahead_ps, t, flow, obs)
+        {
             for net in &ex.nets {
                 let mut net = net.lock().expect("no poisoned shard");
                 net.window_prologue();
@@ -698,7 +828,7 @@ fn drive(ex: &mut ShardExec, t: Time, flow: &mut Flow) {
         loop {
             // Coordination phase: every worker is parked at the round
             // barrier, so the locks are free.
-            let next = coordinate(nets, &mut cursors, lookahead_ps, t, flow);
+            let next = coordinate_timed(nets, &mut cursors, &owners, lookahead_ps, t, flow, obs);
             match next {
                 Some(w_end) => {
                     w_end_ps.store(w_end.as_ps(), Ordering::Release);
@@ -720,16 +850,45 @@ fn drive(ex: &mut ShardExec, t: Time, flow: &mut Flow) {
     });
 }
 
-/// One coordination step: replay the previous window's logs into true
-/// sequence numbers (stepping the audit cadence event-exactly), route
-/// the outboxes, and pick the next window end — or `None` when nothing
-/// at or before `t` remains anywhere.
-fn coordinate(
+/// [`coordinate`], attributed to [`Subsystem::Barrier`] when profiling
+/// (the coordinator's own work is the sharded executor's overhead).
+#[allow(clippy::too_many_arguments)]
+fn coordinate_timed(
     nets: &[Mutex<Network>],
     cursors: &mut [usize],
+    owners: &OwnerMap,
     lookahead_ps: u64,
     t: Time,
     flow: &mut Flow,
+    obs: &mut MasterObs<'_>,
+) -> Option<Time> {
+    let t0 = obs.prof.as_ref().map(|_| std::time::Instant::now());
+    let next = coordinate(nets, cursors, owners, lookahead_ps, t, flow, obs);
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        if let Some(p) = obs.prof.as_mut() {
+            p.record(Subsystem::Barrier, ns);
+        }
+    }
+    next
+}
+
+/// One coordination step: replay the previous window's logs into true
+/// sequence numbers (stepping the audit cadence event-exactly and
+/// merging shard-captured trace/flight records into the master streams
+/// in replayed order), route the outboxes, sample any due telemetry
+/// boundaries against the barrier-consistent global state, and pick
+/// the next window end — or `None` when nothing at or before `t`
+/// remains anywhere.
+#[allow(clippy::too_many_arguments)]
+fn coordinate(
+    nets: &[Mutex<Network>],
+    cursors: &mut [usize],
+    owners: &OwnerMap,
+    lookahead_ps: u64,
+    t: Time,
+    flow: &mut Flow,
+    obs: &mut MasterObs<'_>,
 ) -> Option<Time> {
     let mut guards: Vec<_> = nets
         .iter()
@@ -737,6 +896,8 @@ fn coordinate(
         .collect();
     let n = guards.len();
     cursors.fill(0);
+    let mut tcur = vec![0usize; n];
+    let mut fcur = vec![0usize; n];
 
     // Replay: merge the per-shard dispatch logs in global (time, true
     // key) order. A provisional head key always resolves — the
@@ -758,11 +919,47 @@ fn coordinate(
             }
         }
         let Some((at, true_key, s)) = best else { break };
-        let r = guards[s].shard_route.as_mut().expect("shard");
-        let rec = r.log[cursors[s]];
-        cursors[s] += 1;
-        for j in 0..rec.n_sched as u64 {
-            r.map.push(flow.gseq + j);
+        let rec = {
+            let r = guards[s].shard_route.as_mut().expect("shard");
+            let rec = r.log[cursors[s]];
+            cursors[s] += 1;
+            for j in 0..rec.n_sched as u64 {
+                r.map.push(flow.gseq + j);
+            }
+            rec
+        };
+        // This dispatch's captured observability records enter the
+        // master streams here — the replay position IS the serial
+        // capture order, so record sequence numbers come out identical.
+        if rec.n_trace > 0 {
+            let end = tcur[s] + rec.n_trace as usize;
+            if let Some(mt) = obs.trc.as_mut() {
+                let st = guards[s]
+                    .tracer
+                    .as_ref()
+                    .expect("shards trace iff the master does");
+                for i in tcur[s]..end {
+                    mt.push(st.records()[i]);
+                }
+            }
+            tcur[s] = end;
+        }
+        if rec.n_flight > 0 {
+            let end = fcur[s] + rec.n_flight as usize;
+            if let Some(tel) = obs.tel.as_mut() {
+                for i in fcur[s]..end {
+                    let (fat, kind, subject, detail) = {
+                        let b = guards[s]
+                            .obs_buf
+                            .as_ref()
+                            .expect("shards buffer flight iff telemetry is on");
+                        let e = &b.flight[i];
+                        (e.0, e.1, e.2.clone(), e.3.clone())
+                    };
+                    tel.flight.record(fat, kind, subject, detail);
+                }
+            }
+            fcur[s] = end;
         }
         flow.gseq += rec.n_sched as u64;
         flow.processed += 1;
@@ -774,6 +971,32 @@ fn coordinate(
             flow.next_at = flow.processed + flow.audit_every;
             flow.crossings += 1;
             flow.cross_marks = (flow.last_pop, flow.processed);
+            // The serial pass here recorded a clean AuditPass note
+            // (violations would have panicked the run; the merge's
+            // deferred full pass re-checks that). Sanctioned drops are
+            // constant during a drive — BECN-loss declines sharding.
+            if let Some(tel) = obs.tel.as_mut() {
+                tel.flight.record(
+                    at,
+                    FlightKind::AuditPass,
+                    "audit",
+                    format!("clean; sanctioned drops {}", flow.sanction0),
+                );
+            }
+        }
+    }
+
+    // Every logged dispatch replayed exactly once, so the shard-side
+    // capture buffers must now be fully consumed; reset them for the
+    // next window.
+    for (s, g) in guards.iter_mut().enumerate() {
+        if let Some(tr) = g.tracer.as_mut() {
+            debug_assert_eq!(tcur[s], tr.records().len(), "unreplayed trace records");
+            tr.drain_records();
+        }
+        if let Some(b) = g.obs_buf.as_mut() {
+            debug_assert_eq!(fcur[s], b.flight.len(), "unreplayed flight notes");
+            b.flight.clear();
         }
     }
 
@@ -812,11 +1035,91 @@ fn coordinate(
             gmin = Some(gmin.map_or(c, |m| m.min(c)));
         }
     }
-    let gmin = gmin?;
-    if gmin > t {
-        return None;
+    match gmin {
+        Some(gmin) if gmin <= t => {
+            // Boundaries strictly before the next event: the serial
+            // loop samples them lazily when the batch at gmin pops,
+            // right after extracting its head event — so the reading
+            // shows one more processed event and one less pending.
+            if let Some(tel) = obs.tel.as_mut() {
+                if tel.due_before(gmin) {
+                    let pend = total_pending(&guards);
+                    let view = build_view(&guards, owners, flow.processed + 1, pend - 1);
+                    while tel.due_before(gmin) {
+                        let b = tel.pop_boundary();
+                        tel.sample(b, &view);
+                    }
+                }
+            }
+            // Cross-shard events generated in (w₀, w₁] land at
+            // ≥ gmin + L, so w₁ = gmin + L − 1 is the widest window
+            // that cannot miss one. With telemetry on, the window also
+            // stops at the next unconsumed boundary: no shard may
+            // dispatch an event past a boundary before it is sampled.
+            // (After the loop above, next_boundary ≥ gmin, so the cap
+            // never stalls the window.)
+            let mut w1 = Time(gmin.as_ps().saturating_add(lookahead_ps - 1)).min(t);
+            if let Some(tel) = obs.tel.as_ref() {
+                w1 = w1.min(tel.next_boundary());
+            }
+            Some(w1)
+        }
+        _ => {
+            // Nothing left at or before t: flush boundaries up to and
+            // including t with the final counters, exactly like the
+            // serial epilogue's inclusive sample.
+            if let Some(tel) = obs.tel.as_mut() {
+                if tel.due_at(t) {
+                    let pend = total_pending(&guards);
+                    let view = build_view(&guards, owners, flow.processed, pend);
+                    while tel.due_at(t) {
+                        let b = tel.pop_boundary();
+                        tel.sample(b, &view);
+                    }
+                }
+            }
+            None
+        }
     }
-    // Cross-shard events generated in (w₀, w₁] land at ≥ gmin + L, so
-    // w₁ = gmin + L − 1 is the widest window that cannot miss one.
-    Some(Time(gmin.as_ps().saturating_add(lookahead_ps - 1)).min(t))
+}
+
+/// Global pending-event count across the shards — main queues plus
+/// every not-yet-requeued window-local, later and inbox event. At a
+/// barrier this equals the serial engine's `pending()` exactly: the
+/// windows drained every event with time < gmin, and nothing else.
+fn total_pending(guards: &[MutexGuard<'_, Network>]) -> usize {
+    guards
+        .iter()
+        .map(|g| {
+            let r = g.shard_route.as_ref().expect("shard");
+            g.queue.pending() + r.win.pending() + r.later.len() + r.inbox.len()
+        })
+        .sum()
+}
+
+/// Assemble the sampler's whole-fabric view across the shard guards,
+/// in global device-id order (each shard network holds full-size
+/// device vectors; the owner map says which slot is live where).
+fn build_view<'a>(
+    guards: &'a [MutexGuard<'_, Network>],
+    owners: &OwnerMap,
+    events_processed: u64,
+    queue_depth: usize,
+) -> FabricView<'a> {
+    FabricView {
+        hcas: owners
+            .hca
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| &guards[o as usize].hcas[i])
+            .collect(),
+        switches: owners
+            .sw
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| &guards[o as usize].switches[i])
+            .collect(),
+        events_processed,
+        queue_depth,
+    }
 }

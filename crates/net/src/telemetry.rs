@@ -16,7 +16,9 @@
 //! telemetry-off run (pinned by `tests/telemetry.rs` and the
 //! workspace determinism pins).
 
+use crate::hca::Hca;
 use crate::network::Network;
+use crate::switch::Switch;
 use ibsim_cc::CcBackend;
 use ibsim_engine::time::Time;
 use ibsim_engine::{Histogram, HistogramState, RunMeter};
@@ -38,10 +40,46 @@ const HCA_METRICS: [(&str, MetricKind); 7] = [
     ("sink_depth", MetricKind::Gauge),
 ];
 
+/// A read-only view of the whole fabric at a sample boundary: device
+/// references in global id order plus the engine counters the sampler
+/// needs. The serial loop builds it from `&Network` directly
+/// ([`Network::fabric_view`]); the sharded coordinator assembles it
+/// *across* shard guards at a window barrier, indexing each device in
+/// whichever shard owns it — so one `sample` implementation serves
+/// both, reading identical state in identical order.
+pub(crate) struct FabricView<'a> {
+    pub hcas: Vec<&'a Hca>,
+    pub switches: Vec<&'a Switch>,
+    /// What `queue.processed()` read at the serial sample point (the
+    /// sharded path reconstructs the exact serial value, including the
+    /// first already-popped event of the batch past the boundary).
+    pub events_processed: u64,
+    /// What `Network::queue_depth` read at the serial sample point.
+    pub queue_depth: usize,
+}
+
+impl FabricView<'_> {
+    fn total_fecn_marks(&self) -> u64 {
+        self.switches.iter().map(|s| s.marked_packets()).sum()
+    }
+    fn total_becns(&self) -> u64 {
+        self.hcas.iter().map(|h| h.cc.becns_received()).sum()
+    }
+    fn max_ccti(&self) -> u16 {
+        self.hcas.iter().map(|h| h.cc.max_ccti()).max().unwrap_or(0)
+    }
+    fn total_pfc_pauses(&self) -> u64 {
+        self.switches.iter().map(|s| s.pfc_pauses_total()).sum()
+    }
+}
+
 /// All telemetry state of one network. Constructed against the wired
 /// fabric (the dense tables are sized from it) before the first event.
 pub struct NetTelemetry {
     cadence: Cadence,
+    /// Zero the wall-clock self-metric columns at sample time (see
+    /// [`TelemetryConfig::deterministic_wall`]).
+    det_wall: bool,
     reg: Registry,
     table: SampleTable,
     pub(crate) flight: FlightRecorder,
@@ -128,6 +166,7 @@ impl NetTelemetry {
         );
         NetTelemetry {
             cadence: Cadence::new(cfg.every),
+            det_wall: cfg.deterministic_wall,
             reg,
             table,
             flight: FlightRecorder::with_capacity(cfg.flight_capacity),
@@ -174,9 +213,16 @@ impl NetTelemetry {
         self.cadence.pop()
     }
 
+    /// The next unconsumed boundary. The sharded coordinator caps its
+    /// windows here so no window dispatches past a boundary before it
+    /// is sampled.
+    pub(crate) fn next_boundary(&self) -> Time {
+        self.cadence.next()
+    }
+
     /// Record every metric at boundary `at` into the ring. Read-only
-    /// with respect to the network.
-    pub(crate) fn sample(&mut self, at: Time, net: &Network) {
+    /// with respect to the fabric.
+    pub(crate) fn sample(&mut self, at: Time, net: &FabricView<'_>) {
         let every_ps = self.cadence.every().as_ps() as f64;
         let dt_us = every_ps / 1e6;
         // bytes over one interval → Gbit/s: bits / ps · 10³.
@@ -246,11 +292,21 @@ impl NetTelemetry {
             self.reg.set(pauses, net.total_pfc_pauses() as f64);
         }
 
-        let lap = self.run_meter.lap(net.events_processed(), at);
+        let lap = self.run_meter.lap(net.events_processed, at);
         self.reg.set(self.eng_events, lap.events as f64);
-        self.reg.set(self.eng_qdepth, net.queue_depth() as f64);
-        self.reg.set(self.eng_eps, lap.events_per_sec());
-        self.reg.set(self.eng_wall, lap.wall_ms_per_sim_ms());
+        self.reg.set(self.eng_qdepth, net.queue_depth as f64);
+        if self.det_wall {
+            // Deterministic mode: the two wall-clock self-metrics are
+            // the only columns that are not a pure function of simulated
+            // history; pinning them to zero makes the whole table
+            // byte-reproducible (the same normalisation `state()`
+            // applies to checkpoints).
+            self.reg.set(self.eng_eps, 0.0);
+            self.reg.set(self.eng_wall, 0.0);
+        } else {
+            self.reg.set(self.eng_eps, lap.events_per_sec());
+            self.reg.set(self.eng_wall, lap.wall_ms_per_sim_ms());
+        }
 
         self.table.push(at.as_ps(), self.reg.values());
     }

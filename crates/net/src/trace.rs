@@ -3,12 +3,31 @@
 //! forwarding tables promise, and by humans to watch a congestion tree
 //! delay a specific packet.
 //!
+//! Beyond plain hop records, the tracer captures the *causal* CC chain
+//! the paper's claims rest on: a FECN mark at a switch arbiter leads to
+//! a CNP queued at the destination ([`TracePoint::CnpQueued`]), whose
+//! delivery raises the source's CCTI ([`TracePoint::CctiRaise`]) and —
+//! when the injection-rate delay is live — throttles the next packet
+//! ([`TracePoint::Throttle`]). Under the dcqcn backend, PFC pause
+//! windows land as [`TracePoint::Pfc`] XOFF/XON pairs. CNPs travel
+//! dst→src, so a flow's CNP records are captured under the *reversed*
+//! key; [`Tracer::wants_packet`] handles the reversal.
+//!
+//! Every record carries the VL it was observed on, the instantaneous
+//! VoQ depth at the recording device, and the credit state of the
+//! egress it is bound for — the three numbers a congestion post-mortem
+//! always wants next.
+//!
 //! Tracing is off by default and costs one branch per hook when off.
 
-use crate::types::NodeId;
+use crate::types::{NodeId, Vl};
 use ibsim_engine::time::Time;
 use serde::Serialize;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+/// `src`/`dst` value for fabric-scoped records ([`TracePoint::Pfc`])
+/// that belong to no single flow.
+pub const CC_SCOPE: NodeId = NodeId::MAX;
 
 /// Where in a packet's life a record was taken.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
@@ -27,24 +46,82 @@ pub enum TracePoint {
     Arrive,
     /// Drained by the destination sink (delivery complete).
     Deliver,
+    /// A FECN-marked data packet was received and a CNP was queued
+    /// toward the source. Recorded under the data packet's key.
+    CnpQueued,
+    /// A CNP drained at the flow source and raised the CCTI.
+    /// Recorded under the CNP's (reversed) key.
+    CctiRaise { before: u16, after: u16 },
+    /// The raised CCTI left a live injection-rate delay: the flow's
+    /// next packet is gated for `delay_ps`. Recorded right after the
+    /// [`TracePoint::CctiRaise`] that caused it.
+    Throttle { delay_ps: u64 },
+    /// A PFC pause frame took effect (`xoff = true`) or was released
+    /// (`xoff = false`) at a transmitter. `at_switch` tells whether
+    /// `node` is a switch index or an HCA id. Fabric-scoped: recorded
+    /// with `src = dst = CC_SCOPE`.
+    Pfc {
+        at_switch: bool,
+        node: u32,
+        port: u16,
+        xoff: bool,
+    },
+}
+
+impl TracePoint {
+    /// Whether records of this point belong to a specific packet key
+    /// (and hence the `(src, dst, seq)` index) rather than the fabric.
+    pub fn packet_scoped(&self) -> bool {
+        !matches!(self, TracePoint::Pfc { .. })
+    }
+}
+
+/// Instantaneous context captured alongside a record: the VL the
+/// packet is observed on, the VoQ/queue depth at the recording device,
+/// and the credit count of the egress it is bound for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct TraceCtx {
+    pub vl: Vl,
+    pub voq: u32,
+    pub credit: u32,
 }
 
 /// One trace record. Data packets are identified by
-/// `(src, dst, seq)` — unique per flow by construction.
+/// `(src, dst, seq)` — unique per flow by construction. CNPs carry
+/// their own (reversed) `src`/`dst` with `seq = 0` and `cnp = true`.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct TraceRecord {
     pub at_ps: u64,
     pub src: NodeId,
     pub dst: NodeId,
     pub seq: u32,
+    pub cnp: bool,
+    pub vl: Vl,
+    /// VoQ (switch) or pending-queue (HCA) depth at record time.
+    pub voq: u32,
+    /// Credits available toward the next hop at record time.
+    pub credit: u32,
     pub point: TracePoint,
 }
 
+impl TraceRecord {
+    /// The `(src, dst, seq)` identity used by [`Tracer::packet`].
+    pub fn key(&self) -> (NodeId, NodeId, u32) {
+        (self.src, self.dst, self.seq)
+    }
+}
+
 /// Collects records for an explicit set of (src, dst) flows.
+///
+/// Records live in one append-only vector (capture order == the
+/// deterministic event order), with a side index from packet key to
+/// record positions so [`Tracer::packet`] is O(hits) even on
+/// million-record traces.
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     flows: HashSet<(NodeId, NodeId)>,
     records: Vec<TraceRecord>,
+    by_packet: HashMap<(NodeId, NodeId, u32), Vec<u32>>,
 }
 
 impl Tracer {
@@ -52,6 +129,7 @@ impl Tracer {
         Tracer {
             flows: flows.into_iter().collect(),
             records: Vec::new(),
+            by_packet: HashMap::new(),
         }
     }
 
@@ -62,35 +140,109 @@ impl Tracer {
         self.flows.extend(flows);
     }
 
+    /// The traced (src, dst) set, for cloning a filter onto shards.
+    pub fn flows(&self) -> &HashSet<(NodeId, NodeId)> {
+        &self.flows
+    }
+
     #[inline]
     pub fn wants(&self, src: NodeId, dst: NodeId) -> bool {
         self.flows.contains(&(src, dst))
     }
 
+    /// Flow-set check with CNP reversal: a CNP for traced flow
+    /// (s, d) travels d→s, so it is wanted when (dst, src) is traced.
     #[inline]
-    pub fn record(&mut self, at: Time, src: NodeId, dst: NodeId, seq: u32, point: TracePoint) {
-        if self.wants(src, dst) {
-            self.records.push(TraceRecord {
-                at_ps: at.as_ps(),
-                src,
-                dst,
-                seq,
-                point,
-            });
+    pub fn wants_packet(&self, src: NodeId, dst: NodeId, cnp: bool) -> bool {
+        if cnp {
+            self.wants(dst, src)
+        } else {
+            self.wants(src, dst)
         }
+    }
+
+    /// Record a packet-scoped point. Returns whether it was kept, so
+    /// callers that tag records (the sharded executor) know to tag.
+    // The arguments mirror the TraceRecord fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn record(
+        &mut self,
+        at: Time,
+        src: NodeId,
+        dst: NodeId,
+        seq: u32,
+        cnp: bool,
+        point: TracePoint,
+        ctx: TraceCtx,
+    ) -> bool {
+        if !self.wants_packet(src, dst, cnp) {
+            return false;
+        }
+        self.push(TraceRecord {
+            at_ps: at.as_ps(),
+            src,
+            dst,
+            seq,
+            cnp,
+            vl: ctx.vl,
+            voq: ctx.voq,
+            credit: ctx.credit,
+            point,
+        });
+        true
+    }
+
+    /// Record a fabric-scoped CC point (PFC pause edges). Not filtered
+    /// by flow: pause state gates every traced flow through the port.
+    #[inline]
+    pub fn record_cc(&mut self, at: Time, point: TracePoint, ctx: TraceCtx) {
+        debug_assert!(!point.packet_scoped());
+        self.push(TraceRecord {
+            at_ps: at.as_ps(),
+            src: CC_SCOPE,
+            dst: CC_SCOPE,
+            seq: 0,
+            cnp: false,
+            vl: ctx.vl,
+            voq: ctx.voq,
+            credit: ctx.credit,
+            point,
+        });
+    }
+
+    /// Append an already-filtered record, keeping the index current.
+    /// The sharded executor merges per-shard buffers through here in
+    /// replayed `(time, true-key)` order, which reproduces exactly the
+    /// capture order the serial engine would have produced.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if rec.point.packet_scoped() {
+            self.by_packet
+                .entry(rec.key())
+                .or_default()
+                .push(self.records.len() as u32);
+        }
+        self.records.push(rec);
+    }
+
+    /// Drain collected records (and the index), keeping the flow set.
+    /// Shard-side buffers are emptied through here at every barrier.
+    pub fn drain_records(&mut self) -> Vec<TraceRecord> {
+        self.by_packet.clear();
+        std::mem::take(&mut self.records)
     }
 
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
     }
 
-    /// Records of one specific packet, in capture order.
+    /// Records of one specific packet, in capture order. O(hits) via
+    /// the key index, not a scan of the whole trace.
     pub fn packet(&self, src: NodeId, dst: NodeId, seq: u32) -> Vec<TraceRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.src == src && r.dst == dst && r.seq == seq)
-            .copied()
-            .collect()
+        match self.by_packet.get(&(src, dst, seq)) {
+            Some(ix) => ix.iter().map(|&i| self.records[i as usize]).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// The switch sequence a packet was forwarded through.
@@ -109,45 +261,144 @@ impl Tracer {
 mod tests {
     use super::*;
 
+    fn ctx(vl: Vl, voq: u32, credit: u32) -> TraceCtx {
+        TraceCtx { vl, voq, credit }
+    }
+
     #[test]
     fn tracer_filters_flows() {
         let mut t = Tracer::for_flows([(1, 2)]);
-        t.record(Time(10), 1, 2, 1, TracePoint::Inject);
-        t.record(Time(20), 3, 4, 1, TracePoint::Inject); // not traced
+        t.record(Time(10), 1, 2, 1, false, TracePoint::Inject, ctx(0, 3, 8));
+        t.record(Time(20), 3, 4, 1, false, TracePoint::Inject, ctx(0, 0, 0)); // not traced
         assert_eq!(t.records().len(), 1);
         assert!(t.wants(1, 2));
         assert!(!t.wants(2, 1), "direction matters");
+        // Context fields ride along untouched.
+        assert_eq!(t.records()[0].vl, 0);
+        assert_eq!(t.records()[0].voq, 3);
+        assert_eq!(t.records()[0].credit, 8);
+    }
+
+    #[test]
+    fn cnp_records_are_captured_under_the_reversed_key() {
+        let mut t = Tracer::for_flows([(1, 2)]);
+        // The CNP for flow 1→2 travels 2→1; it must be kept.
+        assert!(t.record(Time(5), 2, 1, 0, true, TracePoint::Inject, ctx(0, 0, 1)));
+        // A data packet 2→1 is a different (untraced) flow.
+        assert!(!t.record(Time(6), 2, 1, 3, false, TracePoint::Inject, ctx(0, 0, 1)));
+        assert_eq!(t.records().len(), 1);
+        assert!(t.records()[0].cnp);
     }
 
     #[test]
     fn packet_and_path_extraction() {
         let mut t = Tracer::for_flows([(0, 5)]);
-        t.record(Time(1), 0, 5, 7, TracePoint::Inject);
+        t.record(Time(1), 0, 5, 7, false, TracePoint::Inject, ctx(1, 0, 4));
         t.record(
             Time(2),
             0,
             5,
             7,
+            false,
             TracePoint::SwitchArrive {
                 switch: 3,
                 in_port: 0,
             },
+            ctx(1, 2, 4),
         );
         t.record(
             Time(3),
             0,
             5,
             7,
+            false,
             TracePoint::Forward {
                 switch: 3,
                 out_port: 9,
                 fecn: false,
             },
+            ctx(1, 2, 3),
         );
-        t.record(Time(4), 0, 5, 7, TracePoint::Deliver);
-        t.record(Time(9), 0, 5, 8, TracePoint::Inject); // other packet
-        assert_eq!(t.packet(0, 5, 7).len(), 4);
+        t.record(Time(4), 0, 5, 7, false, TracePoint::Deliver, ctx(1, 0, 0));
+        t.record(Time(9), 0, 5, 8, false, TracePoint::Inject, ctx(1, 1, 2)); // other packet
+        let p = t.packet(0, 5, 7);
+        assert_eq!(p.len(), 4);
+        // VL and VoQ depth are carried per record.
+        assert!(p.iter().all(|r| r.vl == 1));
+        assert_eq!(p[1].voq, 2, "switch ingress saw two queued descriptors");
         assert_eq!(t.path_of(0, 5, 7), vec![3]);
         assert_eq!(t.path_of(0, 5, 8), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn packet_query_preserves_capture_order_and_is_indexed() {
+        // Interleave three packets' records; per-packet order must be
+        // exactly capture order even though the index answers the query.
+        let mut t = Tracer::for_flows([(0, 5), (5, 0)]);
+        for step in 0u64..30 {
+            let seq = (step % 3) as u32 + 1;
+            let point = match step / 10 {
+                0 => TracePoint::Inject,
+                1 => TracePoint::Arrive,
+                _ => TracePoint::Deliver,
+            };
+            t.record(Time(step), 0, 5, seq, false, point, ctx(0, step as u32, 0));
+        }
+        for seq in 1u32..=3 {
+            let recs = t.packet(0, 5, seq);
+            assert_eq!(recs.len(), 10);
+            let times: Vec<u64> = recs.iter().map(|r| r.at_ps).collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            assert_eq!(times, sorted, "capture order preserved for seq {seq}");
+            assert_eq!(recs[0].point, TracePoint::Inject);
+            assert_eq!(recs[9].point, TracePoint::Deliver);
+        }
+        assert!(t.packet(0, 5, 9).is_empty());
+    }
+
+    #[test]
+    fn fabric_scoped_pfc_records_skip_the_packet_index() {
+        let mut t = Tracer::for_flows([(0, 5)]);
+        t.record_cc(
+            Time(2),
+            TracePoint::Pfc {
+                at_switch: true,
+                node: 1,
+                port: 2,
+                xoff: true,
+            },
+            ctx(0, 7, 0),
+        );
+        t.record_cc(
+            Time(4),
+            TracePoint::Pfc {
+                at_switch: true,
+                node: 1,
+                port: 2,
+                xoff: false,
+            },
+            ctx(0, 0, 0),
+        );
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].src, CC_SCOPE);
+        assert!(t.packet(CC_SCOPE, CC_SCOPE, 0).is_empty());
+    }
+
+    #[test]
+    fn merged_push_reproduces_record_order() {
+        // The barrier-merge path: records pushed raw must land in the
+        // same order and answer the same queries as direct recording.
+        let mut direct = Tracer::for_flows([(0, 5)]);
+        direct.record(Time(1), 0, 5, 1, false, TracePoint::Inject, ctx(0, 0, 4));
+        direct.record(Time(2), 0, 5, 1, false, TracePoint::Deliver, ctx(0, 0, 0));
+
+        let mut merged = Tracer::for_flows([(0, 5)]);
+        for rec in direct.records().to_vec() {
+            merged.push(rec);
+        }
+        assert_eq!(merged.records().len(), 2);
+        assert_eq!(merged.packet(0, 5, 1).len(), 2);
+        assert_eq!(merged.path_of(0, 5, 1), direct.path_of(0, 5, 1));
     }
 }

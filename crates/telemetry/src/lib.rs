@@ -48,6 +48,12 @@ pub struct TelemetryConfig {
     pub sample_capacity: usize,
     /// Ring capacity of the flight recorder (events).
     pub flight_capacity: usize,
+    /// Zero the two wall-clock self-metrics (`engine.events_per_sec`,
+    /// `engine.wall_ms_per_sim_ms`) at sample time. Every other column
+    /// is a pure function of simulated history; with this set the whole
+    /// sample table is byte-reproducible run-to-run — the mode the
+    /// sharded-equivalence pins and CI diffs sample under.
+    pub deterministic_wall: bool,
 }
 
 impl TelemetryConfig {
@@ -66,6 +72,7 @@ impl Default for TelemetryConfig {
             every: TimeDelta::from_us(100),
             sample_capacity: 4096,
             flight_capacity: 1024,
+            deterministic_wall: false,
         }
     }
 }

@@ -73,8 +73,11 @@ pub fn run_drill_floor(
     let mut net = Network::new(topo, cfg);
     crate::audit::arm(&mut net);
     crate::telemetry::arm(&mut net);
+    crate::trace::arm(&mut net);
+    crate::profile::arm(&mut net);
     net.install_faults(schedule.clone());
     let sc = Scenario::install_opts(roles, &mut net, ibsim_net::PAPER_MSG_BYTES, true);
+    crate::trace::arm_hotspots(&mut net, &sc.assignment.hotspots, topo.num_hcas);
 
     let t_end = Time::ZERO + dur.total();
     let mut samples: Vec<Sample> = Vec::new();
@@ -121,6 +124,8 @@ pub fn run_drill_floor(
         .unwrap_or((0.0, 0.0));
     let recovery = RecoveryMetrics::compute(&samples, start, clear);
     crate::telemetry::finish(&net, "drill", &sc.assignment.hotspots);
+    crate::trace::finish(&net, "drill");
+    crate::profile::finish(&net, "drill");
     let audit = net.audit_checked();
     let report = DrillReport {
         fault_start_us: start,

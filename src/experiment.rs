@@ -158,6 +158,8 @@ pub fn run_scenario_faults(
     let mut net = Network::new(topo, cfg);
     crate::audit::arm(&mut net);
     crate::telemetry::arm(&mut net);
+    crate::trace::arm(&mut net);
+    crate::profile::arm(&mut net);
     if let Some(schedule) = faults {
         net.install_faults(schedule.clone());
     }
@@ -168,6 +170,8 @@ pub fn run_scenario_faults(
         ibsim_net::PAPER_MSG_BYTES,
         contributors_active,
     );
+    // `--trace-flows hotspots` resolves against the drawn assignment.
+    crate::trace::arm_hotspots(&mut net, &sc.assignment.hotspots, topo.num_hcas);
     let t_end = Time::ZERO + dur.total();
 
     // Optional resume: fast-forward the freshly configured (but not yet
@@ -245,11 +249,10 @@ pub fn run_scenario_faults(
     // Drain telemetry to disk before the audit pass: if the ledger is
     // broken, the artifacts (and the violation-context flight dump the
     // checked pass writes) survive the ensuing panic.
-    crate::telemetry::finish(
-        &net,
-        if net.cc_enabled() { "cc_on" } else { "cc_off" },
-        &sc.assignment.hotspots,
-    );
+    let cc_hint = if net.cc_enabled() { "cc_on" } else { "cc_off" };
+    crate::telemetry::finish(&net, cc_hint, &sc.assignment.hotspots);
+    crate::trace::finish(&net, cc_hint);
+    crate::profile::finish(&net, cc_hint);
     // End-of-run invariant pass (no-op when auditing is off): a broken
     // ledger fails the run rather than reporting corrupt numbers.
     net.audit_checked().raise();

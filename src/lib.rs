@@ -49,11 +49,13 @@ pub mod drill;
 pub mod experiment;
 pub mod figures;
 pub mod preset;
+pub mod profile;
 pub mod replicas;
 pub mod report;
 pub mod shards;
 pub mod sweep;
 pub mod telemetry;
+pub mod trace;
 
 pub use bisect::{bisect_divergence, perturb_cc, Divergence};
 pub use drill::{run_drill, run_drill_floor, DrillReport};

@@ -1,0 +1,137 @@
+//! Process-wide toggle + sink for the engine self-profiler.
+//!
+//! The per-subsystem accounting lives in `ibsim_net::profile`; this
+//! module decides whether runs profile and where the per-run JSON
+//! breakdown lands, on the same contract as [`crate::telemetry`]:
+//!
+//! * `--profile` on any experiment binary calls [`force`]`(true)`;
+//! * the `IBSIM_PROFILE` environment variable (`1`/`true`/`on`) turns
+//!   it on for processes that never parse flags, with
+//!   `IBSIM_PROFILE_OUT` choosing the directory;
+//! * [`arm`] applies the decision to a freshly-built [`Network`];
+//!   [`finish`] writes `profile_{run}.json` at end of run.
+//!
+//! Profiling is strictly observational — it reads the monotonic clock
+//! around work that already happens — so a profile-on run's simulation
+//! outputs are byte-identical to a profile-off run's (pinned in
+//! `tests/determinism.rs`). The JSON itself is of course wall-clock
+//! data and differs run to run.
+
+use ibsim_net::Network;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// 0 = follow the environment, 1 = forced on, 2 = forced off.
+static FORCE: AtomicU8 = AtomicU8::new(0);
+
+/// Monotonic per-process run label counter (`run000`, `run001`, …).
+static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the environment (last call wins; `--profile` uses this).
+pub fn force(on: bool) {
+    FORCE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Should runs profile? Forced value if set, else `IBSIM_PROFILE`.
+pub fn enabled() -> bool {
+    match FORCE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            static ENV: OnceLock<bool> = OnceLock::new();
+            *ENV.get_or_init(|| {
+                matches!(
+                    std::env::var("IBSIM_PROFILE").as_deref(),
+                    Ok("1") | Ok("true") | Ok("on")
+                )
+            })
+        }
+    }
+}
+
+fn out_dir_override() -> &'static Mutex<Option<PathBuf>> {
+    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    DIR.get_or_init(|| Mutex::new(None))
+}
+
+/// Direct profile reports to `dir` (binaries pass their `--out`).
+pub fn set_out_dir(dir: impl Into<PathBuf>) {
+    *out_dir_override().lock().unwrap() = Some(dir.into());
+}
+
+/// Where reports land: [`set_out_dir`] value, else
+/// `IBSIM_PROFILE_OUT`, else `results`.
+pub fn out_dir() -> PathBuf {
+    if let Some(d) = out_dir_override().lock().unwrap().clone() {
+        return d;
+    }
+    std::env::var("IBSIM_PROFILE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Enable the profiler on `net` when profiling is on.
+pub fn arm(net: &mut Network) {
+    if enabled() {
+        net.enable_profile();
+    }
+}
+
+/// Write one finished run's `profile_{run}.json` breakdown and return
+/// its path. No-op (`None`) when the network was not armed.
+pub fn finish(net: &Network, hint: &str) -> Option<PathBuf> {
+    let report = net.profile_report()?;
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create profile out dir");
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let label = if hint.is_empty() {
+        format!("run{seq:03}")
+    } else {
+        format!("run{seq:03}_{hint}")
+    };
+    let path = dir.join(format!("profile_{label}.json"));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("profile report serialises"),
+    )
+    .expect("write profile json");
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibsim_net::{DestPattern, NetConfig, TrafficClass};
+    use ibsim_topo::single_switch;
+
+    #[test]
+    fn force_wins_arms_networks_and_finish_writes_report() {
+        let dir = std::env::temp_dir().join(format!("ibsim_prof_{}", std::process::id()));
+        set_out_dir(&dir);
+        force(true);
+        assert!(enabled());
+
+        let topo = single_switch(8, 4);
+        let mut net = Network::new(&topo, NetConfig::paper());
+        arm(&mut net);
+        assert!(net.profile_enabled());
+        for n in 1..4 {
+            net.set_classes(n, vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)]);
+        }
+        net.run_until(ibsim_engine::time::Time::from_us(200));
+
+        let path = finish(&net, "cc_on").expect("armed run writes a report");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("queue_pop") && body.contains("ns_per_event"));
+
+        force(false);
+        assert!(!enabled());
+        let mut net = Network::new(&topo, NetConfig::paper());
+        arm(&mut net);
+        assert!(!net.profile_enabled());
+        assert!(finish(&net, "off").is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

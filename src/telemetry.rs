@@ -102,11 +102,28 @@ pub fn out_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
+/// Should samples zero the two wall-clock self-metrics
+/// (`engine.events_per_sec`, `engine.wall_ms_per_sim_ms`)? On under
+/// `IBSIM_TELEMETRY_DET` (`1`/`true`/`on`) — the mode the CI
+/// observability leg diffs sharded CSVs against serial under, since
+/// every other column is a pure function of simulated history.
+pub fn deterministic_wall() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        matches!(
+            std::env::var("IBSIM_TELEMETRY_DET").as_deref(),
+            Ok("1") | Ok("true") | Ok("on")
+        )
+    })
+}
+
 /// Enable the sampler on `net` when telemetry is on. Call before the
 /// first event is dispatched.
 pub fn arm(net: &mut Network) {
     if let Some(every) = enabled() {
-        net.enable_telemetry(TelemetryConfig::every(every));
+        let mut cfg = TelemetryConfig::every(every);
+        cfg.deterministic_wall = deterministic_wall();
+        net.enable_telemetry(cfg);
     }
 }
 

@@ -1,0 +1,227 @@
+//! Process-wide toggle + sink for the causal flow tracer.
+//!
+//! The span recorder lives in `ibsim_net::trace` / `ibsim_net::span`;
+//! this module decides *which flows* a run traces and *where* the
+//! exports land, on the same contract as [`crate::telemetry`]:
+//!
+//! * `--trace-flows SRC:DST[,SRC:DST…]` on any experiment binary calls
+//!   [`force`]`(Some(flows))`, and `--trace-out DIR` picks the export
+//!   directory (default: the binary's `--out`);
+//! * the `IBSIM_TRACE_FLOWS` environment variable (same grammar) turns
+//!   tracing on for processes that never parse flags, with
+//!   `IBSIM_TRACE_OUT` choosing the directory;
+//! * [`arm`] applies the decision to a freshly-built [`Network`];
+//!   [`finish`] writes `trace_{run}.json` (Chrome trace-event /
+//!   Perfetto) and `trace_{run}.csv` (flat records) at end of run.
+//!
+//! Tracing is purely observational: a traced run's simulation outputs
+//! are byte-identical to an untraced run's (pinned in
+//! `tests/determinism.rs`).
+
+use ibsim_net::{chrome_trace_json, records_csv, Network, NodeId};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// What `--trace-flows` asked for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowSpec {
+    /// Explicit `SRC:DST` pairs.
+    Flows(Vec<(NodeId, NodeId)>),
+    /// The `hotspots` keyword: trace every flow *into* the run's
+    /// hotspots. Hotspot locations are drawn from the scenario RNG, so
+    /// only the runner knows them — [`arm`] does nothing for this
+    /// variant and the scenario runners call [`arm_hotspots`] once the
+    /// role assignment exists.
+    Hotspots,
+}
+
+/// `None` = follow the environment; `Some(None)` = forced off;
+/// `Some(Some(spec))` = forced on for that spec.
+#[allow(clippy::type_complexity)]
+fn force_cell() -> &'static Mutex<Option<Option<FlowSpec>>> {
+    static CELL: OnceLock<Mutex<Option<Option<FlowSpec>>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+/// Monotonic per-process run label counter (`run000`, `run001`, …),
+/// advanced once per traced run so parallel sweeps never clobber each
+/// other's exports. Counts in lockstep with the telemetry label when
+/// both layers are on (each finishes once per run).
+static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the environment (last call wins; `--trace-flows` uses
+/// this). `Some(spec)` forces tracing of that spec, `None` forces
+/// tracing off.
+pub fn force(spec: Option<FlowSpec>) {
+    *force_cell().lock().unwrap() = Some(spec);
+}
+
+/// Parse a `--trace-flows` value: either the `hotspots` keyword or a
+/// `SRC:DST[,SRC:DST…]` flow list (e.g. `0:3` or `0:3,5:3`).
+pub fn parse_flows(spec: &str) -> Result<FlowSpec, String> {
+    if spec.trim() == "hotspots" {
+        return Ok(FlowSpec::Hotspots);
+    }
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (s, d) = part
+                .split_once(':')
+                .ok_or_else(|| format!("flow {part:?} wants SRC:DST (or the keyword hotspots)"))?;
+            let s = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad source node {s:?} in flow {part:?}"))?;
+            let d = d
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad dest node {d:?} in flow {part:?}"))?;
+            Ok((s, d))
+        })
+        .collect::<Result<Vec<_>, String>>()
+        .map(FlowSpec::Flows)
+}
+
+/// What should runs trace? Forced value if set, else
+/// `IBSIM_TRACE_FLOWS`.
+pub fn enabled() -> Option<FlowSpec> {
+    if let Some(forced) = force_cell().lock().unwrap().clone() {
+        return forced;
+    }
+    static ENV: OnceLock<Option<FlowSpec>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let spec = std::env::var("IBSIM_TRACE_FLOWS").ok()?;
+        if spec.is_empty() {
+            return None;
+        }
+        Some(parse_flows(&spec).unwrap_or_else(|e| panic!("IBSIM_TRACE_FLOWS: {e}")))
+    })
+    .clone()
+}
+
+fn out_dir_override() -> &'static Mutex<Option<PathBuf>> {
+    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    DIR.get_or_init(|| Mutex::new(None))
+}
+
+/// Direct trace exports to `dir` (binaries pass `--trace-out`, falling
+/// back to their `--out`).
+pub fn set_out_dir(dir: impl Into<PathBuf>) {
+    *out_dir_override().lock().unwrap() = Some(dir.into());
+}
+
+/// Where exports land: [`set_out_dir`] value, else `IBSIM_TRACE_OUT`,
+/// else `results`.
+pub fn out_dir() -> PathBuf {
+    if let Some(d) = out_dir_override().lock().unwrap().clone() {
+        return d;
+    }
+    std::env::var("IBSIM_TRACE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Enable the tracer on `net` when tracing is on with explicit flows.
+/// Call before the first event is dispatched. The `hotspots` keyword
+/// arms nothing here — the runner resolves it via [`arm_hotspots`].
+pub fn arm(net: &mut Network) {
+    if let Some(FlowSpec::Flows(flows)) = enabled() {
+        net.enable_trace(flows);
+    }
+}
+
+/// Resolve the `hotspots` keyword against a drawn role assignment:
+/// trace every flow from any of the `num_nodes` end nodes into any
+/// hotspot. Scenario runners call this right after role assignment;
+/// a no-op unless the active spec is [`FlowSpec::Hotspots`].
+pub fn arm_hotspots(net: &mut Network, hotspots: &[NodeId], num_nodes: usize) {
+    if enabled() != Some(FlowSpec::Hotspots) {
+        return;
+    }
+    for &h in hotspots {
+        net.enable_trace((0..num_nodes as NodeId).filter(|&n| n != h).map(move |n| (n, h)));
+    }
+}
+
+/// Write one finished run's exports — `trace_{run}.json` (Chrome
+/// trace-event document for Perfetto / chrome://tracing) and
+/// `trace_{run}.csv` (one row per record, capture order) — and return
+/// their paths. No-op (`None`) when the network was not armed.
+pub fn finish(net: &Network, hint: &str) -> Option<Vec<PathBuf>> {
+    let tracer = net.tracer()?;
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create trace out dir");
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let label = if hint.is_empty() {
+        format!("run{seq:03}")
+    } else {
+        format!("run{seq:03}_{hint}")
+    };
+
+    let json = dir.join(format!("trace_{label}.json"));
+    let doc = chrome_trace_json(tracer.records());
+    std::fs::write(
+        &json,
+        serde_json::to_string_pretty(&doc).expect("trace doc serialises"),
+    )
+    .expect("write trace json");
+
+    let csv = dir.join(format!("trace_{label}.csv"));
+    std::fs::write(&csv, records_csv(tracer.records())).expect("write trace csv");
+
+    Some(vec![json, csv])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibsim_net::{DestPattern, NetConfig, TrafficClass};
+    use ibsim_topo::single_switch;
+
+    #[test]
+    fn parse_flow_lists() {
+        assert_eq!(parse_flows("0:3").unwrap(), FlowSpec::Flows(vec![(0, 3)]));
+        assert_eq!(
+            parse_flows("1:0, 2:0").unwrap(),
+            FlowSpec::Flows(vec![(1, 0), (2, 0)])
+        );
+        assert_eq!(parse_flows("hotspots").unwrap(), FlowSpec::Hotspots);
+        assert!(parse_flows("7").is_err());
+        assert!(parse_flows("a:b").is_err());
+    }
+
+    #[test]
+    fn force_wins_arms_networks_and_finish_writes_exports() {
+        let dir = std::env::temp_dir().join(format!("ibsim_trace_{}", std::process::id()));
+        set_out_dir(&dir);
+        force(Some(FlowSpec::Flows(vec![(1, 0)])));
+        assert_eq!(enabled(), Some(FlowSpec::Flows(vec![(1, 0)])));
+
+        let topo = single_switch(8, 4);
+        let mut net = Network::new(&topo, NetConfig::paper());
+        arm(&mut net);
+        assert!(net.tracer().is_some());
+        for n in 1..4 {
+            net.set_classes(n, vec![TrafficClass::new(100, DestPattern::Fixed(0), 4096)]);
+        }
+        net.run_until(ibsim_engine::time::Time::from_us(200));
+
+        let paths = finish(&net, "cc_on").expect("armed run writes exports");
+        assert_eq!(paths.len(), 2);
+        let json = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(json.contains("traceEvents"));
+        let csv = std::fs::read_to_string(&paths[1]).unwrap();
+        assert!(csv.starts_with("at_ps,src,dst,seq,cnp,point,vl,voq,credit,detail"));
+        assert!(csv.lines().count() > 1, "traced flow produced records");
+
+        force(None);
+        assert_eq!(enabled(), None);
+        let mut net = Network::new(&topo, NetConfig::paper());
+        arm(&mut net);
+        assert!(net.tracer().is_none());
+        assert!(finish(&net, "off").is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -208,6 +208,73 @@ fn telemetry_on_is_byte_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Flow tracing is purely observational: tracing every node's flow
+/// toward node 0 through the same runner reproduces the pinned CSV
+/// byte for byte. The trace hooks read state the dispatch already
+/// computed — no scheduled events, no RNG draws, no reordering. (This
+/// test owns the process-wide trace toggle; no other test in this
+/// binary touches it.)
+#[test]
+fn trace_on_is_byte_identical() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let without = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+
+    let dir = std::env::temp_dir().join(format!("ibsim_det_trc_{}", std::process::id()));
+    ibsim::trace::set_out_dir(&dir);
+    ibsim::trace::force(Some(ibsim::trace::FlowSpec::Flows(
+        (1..8).map(|n| (n, 0)).collect(),
+    )));
+    let with = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+    ibsim::trace::force(None);
+
+    assert_eq!(with, without, "trace-on run diverged from the traced-off pin");
+    // The runs did record: a Perfetto export per Table II cell landed.
+    let n_json = std::fs::read_dir(&dir)
+        .expect("trace out dir exists")
+        .filter(|e| {
+            let name = e.as_ref().unwrap().file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("trace_") && name.ends_with(".json")
+        })
+        .count();
+    assert!(n_json >= 4, "one Perfetto doc per Table II cell, got {n_json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The self-profiler is purely observational: it reads the monotonic
+/// clock around work the engine already does, so a profiled run
+/// reproduces the pinned CSV byte for byte. (This test owns the
+/// process-wide profile toggle; no other test in this binary touches
+/// it.)
+#[test]
+fn profile_on_is_byte_identical() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let without = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+
+    let dir = std::env::temp_dir().join(format!("ibsim_det_prof_{}", std::process::id()));
+    ibsim::profile::set_out_dir(&dir);
+    ibsim::profile::force(true);
+    let with = table2_csv(&topo, &NetConfig::paper(), tiny_roles(&topo), tiny_dur());
+    ibsim::profile::force(false);
+
+    assert_eq!(
+        with, without,
+        "profile-on run diverged from the profile-off pin"
+    );
+    let n_json = std::fs::read_dir(&dir)
+        .expect("profile out dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with("profile_")
+        })
+        .count();
+    assert!(n_json >= 4, "one breakdown per Table II cell, got {n_json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The sharded executor reproduces the pinned CSV byte for byte at
 /// every shard count — the same literal string `tiny_table2_csv_is_pinned`
 /// guards, so any parallel-only drift in event order, RNG draws, or

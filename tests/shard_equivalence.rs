@@ -17,7 +17,7 @@
 //! leaks into results.
 
 use ibsim::prelude::*;
-use ibsim_net::NetworkState;
+use ibsim_net::{records_csv, NetworkState, TelemetryConfig};
 use ibsim_state::diff_values;
 use proptest::prelude::*;
 use serde::Serialize;
@@ -259,6 +259,129 @@ fn one_shard_is_serial() {
     net.set_shards(&topo, 1);
     assert_eq!(net.shard_count(), 1);
     assert_equivalent(&topo, 3, true, None, false, 1, &[us(300)]);
+}
+
+// ---------------------------------------------------------------------
+// Observability byte-identity: telemetry, flight window, trace records.
+// ---------------------------------------------------------------------
+
+/// Build the fully-instrumented fabric: audit (so `AuditPass` flight
+/// notes land at every cadence crossing), telemetry in deterministic-
+/// wall mode (the two wall-clock self-metrics are zeroed; every other
+/// column is a pure function of simulated history), every HCA pair
+/// traced, and the self-profiler on (strictly observational — it must
+/// not perturb a single byte).
+fn observed_net(topo: &Topology, n: usize) -> Network {
+    let mut net = loaded_net(topo, 0x1B51_C0DE, true, None, true);
+    let mut cfg = TelemetryConfig::every(TimeDelta::from_us(50));
+    cfg.deterministic_wall = true;
+    net.enable_telemetry(cfg);
+    let hcas = topo.num_hcas as u32;
+    net.enable_trace((0..hcas).flat_map(|s| (0..hcas).map(move |d| (s, d))));
+    net.enable_profile();
+    if n > 1 {
+        net.set_shards(topo, n);
+        assert!(
+            net.shard_count() > 1,
+            "the observed run must shard genuinely — the serial \
+             fallback for telemetry/tracing is supposed to be gone"
+        );
+    }
+    net
+}
+
+/// The three observation streams a run exposes, serialised.
+fn observations(net: &Network) -> (String, String, String) {
+    let tel = net.telemetry().expect("telemetry is on");
+    (
+        tel.table().to_csv(),
+        net.flight_dump_json("obs equivalence pin").unwrap(),
+        records_csv(net.tracer().expect("tracing is on").records()),
+    )
+}
+
+/// The headline pin of this PR: with telemetry + tracing + audit +
+/// profiling all on, the sharded executor reproduces the serial
+/// engine's *observation* streams byte for byte at every capture
+/// instant and every shard count — sample rows in the same order with
+/// the same values, flight events (including replayed shard-side notes
+/// and synthesised `AuditPass` entries) identical, trace records in
+/// the exact serial capture order. Fabric state is compared too, so
+/// observation work cannot have perturbed the simulation.
+#[test]
+fn observation_streams_match_serial_across_shard_counts() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let captures = [us(150), us(350), us(500)];
+
+    let mut serial = observed_net(&topo, 1);
+    let want: Vec<_> = captures
+        .iter()
+        .map(|&t| {
+            serial.run_until(t);
+            (observations(&serial), serial.checkpoint())
+        })
+        .collect();
+    // The pin must bite: telemetry sampled rows, the audit cadence
+    // produced flight events, and the tracer saw the congestion tree.
+    let (tel, flight, trace) = &want.last().unwrap().0;
+    assert!(tel.lines().count() > 3, "several sample rows recorded");
+    assert!(flight.contains("AuditPass"), "audit passes were noted");
+    assert!(trace.lines().count() > 100, "the hotspot flows traced");
+
+    for n in [2, 4, 8] {
+        let mut net = observed_net(&topo, n);
+        for (i, &t) in captures.iter().enumerate() {
+            net.run_until(t);
+            let (tel, flight, trace) = observations(&net);
+            let ((wtel, wflight, wtrace), wstate) = &want[i];
+            assert_eq!(
+                &tel, wtel,
+                "shards={n} telemetry CSV diverged from serial at t={t:?}"
+            );
+            assert_eq!(
+                &flight, wflight,
+                "shards={n} flight window diverged from serial at t={t:?}"
+            );
+            assert_eq!(
+                &trace, wtrace,
+                "shards={n} trace records diverged from serial at t={t:?}"
+            );
+            let state = net.checkpoint();
+            if &state != wstate {
+                let diffs = diff_values(&wstate.to_value(), &state.to_value(), 10);
+                panic!(
+                    "shards={n} observation work perturbed fabric state \
+                     at t={t:?} (capture {} of {}):\n{}",
+                    i + 1,
+                    captures.len(),
+                    ibsim_state::render_diff(&diffs)
+                );
+            }
+        }
+    }
+}
+
+/// The self-profiler under sharding: per-shard bins fold into the
+/// master at merge, so a sharded profiled run still accounts events to
+/// subsystems (and the barrier bin is populated — only the coordinator
+/// records it).
+#[test]
+fn sharded_profile_report_accounts_subsystems() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let mut net = observed_net(&topo, 4);
+    net.run_until(us(400));
+    let report = net.profile_report().expect("profiling is on");
+    assert!(report.events > 0);
+    let bin = |name: &str| {
+        report
+            .bins
+            .iter()
+            .find(|b| b.subsystem == name)
+            .unwrap_or_else(|| panic!("report has a {name} bin"))
+            .calls
+    };
+    assert!(bin("queue_pop") > 0, "shard-side pops fold into the master");
+    assert!(bin("barrier") > 0, "the coordinator times its barriers");
 }
 
 // ---------------------------------------------------------------------

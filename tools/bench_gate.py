@@ -12,14 +12,23 @@ The floor is the minimum of several quick-mode runs on the reference
 machine, so the gate only fires when a run is slower than anything the
 bench has ever produced there — by default by a further 15 %.
 
+``quick_reference.ratio_gates`` adds machine-independent checks on top:
+each entry demands ``bench >= min_ratio * baseline`` *within the same
+run*, so overhead envelopes (e.g. the telemetry-on bench against the
+plain CC-on bench) hold even on hardware where the absolute floors are
+skipped. Ratio gates are NOT bypassed by ``BENCH_GATE_SKIP`` unless the
+run file itself is absent — both sides come from the same run, so
+slower hardware cancels out.
+
 Usage:
     python3 tools/bench_gate.py <run.jsonl> [--baseline BENCH_CORE.json]
                                             [--allow 0.15]
 
 Environment:
-    BENCH_GATE_SKIP=1   skip the comparison (always exit 0); for
+    BENCH_GATE_SKIP=1   skip the absolute-floor comparison; for
                         known-slower hardware where absolute rates are
-                        not comparable to the reference machine.
+                        not comparable to the reference machine. The
+                        same-run ratio gates still apply.
 """
 
 import argparse
@@ -40,14 +49,16 @@ def main() -> int:
     )
     args = ap.parse_args()
 
-    if os.environ.get("BENCH_GATE_SKIP") == "1":
-        print("bench_gate: BENCH_GATE_SKIP=1, skipping comparison")
-        return 0
-
     with open(args.baseline) as fh:
-        floors = json.load(fh).get("quick_reference", {}).get("benches", {})
-    if not floors:
-        print(f"bench_gate: no quick_reference.benches in {args.baseline}; nothing to gate")
+        quick_ref = json.load(fh).get("quick_reference", {})
+    floors = quick_ref.get("benches", {})
+    ratio_gates = {
+        name: spec
+        for name, spec in quick_ref.get("ratio_gates", {}).items()
+        if isinstance(spec, dict)  # skip the "comment" key
+    }
+    if not floors and not ratio_gates:
+        print(f"bench_gate: no quick_reference gates in {args.baseline}; nothing to gate")
         return 0
 
     measured = {}
@@ -62,6 +73,9 @@ def main() -> int:
             measured[name] = max(measured.get(name, 0), rec["elems_per_sec"])
 
     failures = []
+    if os.environ.get("BENCH_GATE_SKIP") == "1":
+        print("bench_gate: BENCH_GATE_SKIP=1, skipping absolute-floor comparison")
+        floors = {}
     for name, floor in sorted(floors.items()):
         if not name.startswith("network_throughput/"):
             continue
@@ -81,12 +95,32 @@ def main() -> int:
                 f"tracked floor {floor:,.0f} (allowance {args.allow:.0%})"
             )
 
+    # Same-run overhead envelopes: bench >= min_ratio * baseline bench.
+    for name, spec in sorted(ratio_gates.items()):
+        base_name, min_ratio = spec["baseline"], spec["min_ratio"]
+        got, base = measured.get(name), measured.get(base_name)
+        if got is None or base is None:
+            missing = name if got is None else base_name
+            failures.append(f"{name} ratio gate: {missing} missing from {args.run}")
+            continue
+        ratio = got / base if base else 0.0
+        verdict = "FAIL" if ratio < min_ratio else "ok"
+        print(
+            f"bench_gate: {name}: {ratio:.2f}x of {base_name} "
+            f"(min {min_ratio:.2f}x) {verdict}"
+        )
+        if ratio < min_ratio:
+            failures.append(
+                f"{name}: {ratio:.2f}x of {base_name} is below the "
+                f"tracked overhead envelope ({min_ratio:.2f}x)"
+            )
+
     if failures:
         print("bench_gate: REGRESSION DETECTED", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("bench_gate: all network_throughput benches within allowance")
+    print("bench_gate: all network_throughput gates within allowance")
     return 0
 
 

@@ -151,6 +151,82 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Convert any [`Serialize`] into a [`Value`] tree. The [`json!`]
+/// macro's expression fallback; also usable directly.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] tree with JSON-ish syntax — the subset of real
+/// serde_json's `json!` this workspace uses: object/array literals with
+/// trailing commas, `null`, and arbitrary Rust expressions as values
+/// (converted through [`Serialize`]). Object keys must be string
+/// literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_items!(items; $($elems)*);
+        $crate::Value::Array(items)
+    }};
+    ({ $($pairs:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut fields: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_fields!(fields; $($pairs)*);
+        $crate::Value::Object(fields)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// `json!` object-body muncher: one `"key": value` pair per step, where
+/// the value is a nested literal, `null`, or an expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_fields {
+    ($fields:ident;) => {};
+    ($fields:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_fields!($fields; $($($rest)*)?);
+    };
+    ($fields:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_fields!($fields; $($($rest)*)?);
+    };
+    ($fields:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_fields!($fields; $($($rest)*)?);
+    };
+    ($fields:ident; $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::to_value(&$val)));
+        $crate::json_fields!($fields; $($($rest)*)?);
+    };
+}
+
+/// `json!` array-body muncher.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident;) => {};
+    ($items:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_items!($items; $($($rest)*)?);
+    };
+    ($items:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_items!($items; $($($rest)*)?);
+    };
+    ($items:ident; null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::json_items!($items; $($($rest)*)?);
+    };
+    ($items:ident; $val:expr $(, $($rest:tt)*)?) => {
+        $items.push($crate::to_value(&$val));
+        $crate::json_items!($items; $($($rest)*)?);
+    };
+}
+
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_pretty(&value.to_value(), 0, &mut out);
