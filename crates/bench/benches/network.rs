@@ -68,6 +68,23 @@ fn run_uniform_observed(
     net.events_processed()
 }
 
+/// A production-shaped workload at paper scale: 32:1 incast into one
+/// node of the 648-host fat tree. The fan-in port is the worst case for
+/// the VoQ switch and the CC loop both, so events/s here bounds how
+/// long the incast cells of the workloads bin take.
+fn run_incast_648(sim_us: u64) -> u64 {
+    let topo = FatTreeSpec::PAPER_648.build();
+    let cfg = ibsim_bench::bench_cfg(true);
+    let mut net = Network::new(&topo, cfg);
+    let spec = ibsim_traffic::WorkloadSpec::parse(
+        "incast:dst=0,fanin=32,bytes=65536,msgs=64,stagger_ns=500",
+    )
+    .expect("valid incast spec");
+    spec.install(&mut net).expect("install incast");
+    net.run_until(Time::from_us(sim_us));
+    net.events_processed()
+}
+
 fn network_benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("network_throughput");
     g.sample_size(10);
@@ -105,6 +122,16 @@ fn network_benches(c: &mut Criterion) {
         g.throughput(Throughput::Elements(events));
         g.bench_function(name, |b| {
             b.iter(|| run_uniform_observed(FatTreeSpec::TEST_8, 200, true, true, trace, profile));
+        });
+    }
+    // The production-workload hot spot: a 32:1 incast into one 648-node
+    // port. Compare against fat648_uniform_20us — the gap is the cost
+    // of deep fan-in queues and a hot CC loop vs spread-out load.
+    {
+        let events = run_incast_648(150);
+        g.throughput(Throughput::Elements(events));
+        g.bench_function("fat648_incast", |b| {
+            b.iter(|| run_incast_648(150));
         });
     }
     // The sharded executor at paper scale: byte-identical results, so

@@ -15,7 +15,7 @@
 //! ```
 
 use ibsim::prelude::*;
-use ibsim_experiments::{f2, f3, Args};
+use ibsim_experiments::{f2, f3, run_workload_cli, Args};
 
 fn main() {
     let args = Args::parse();
@@ -31,6 +31,12 @@ fn main() {
     let cfg = preset.net_config().with_seed(args.seed());
     let num_hotspots = args.get_u64("hotspots", preset.num_hotspots() as u64) as usize;
     let dur = preset.durations();
+    // `--workload SPEC` swaps the silent forest for a production-shaped
+    // workload on the same preset fabric and exits.
+    if let Some(wl) = args.workload() {
+        run_workload_cli(&args, &topo, cfg, &wl, dur);
+        return;
+    }
     let roles = RoleSpec {
         num_nodes: topo.num_hcas,
         num_hotspots,

@@ -16,7 +16,7 @@
 //! ```
 
 use ibsim::prelude::*;
-use ibsim_experiments::{f2, f3, Args};
+use ibsim_experiments::{f2, f3, run_workload_cli, Args};
 
 fn main() {
     let args = Args::parse();
@@ -40,6 +40,12 @@ fn main() {
     let topo = preset.topology();
     let cfg = preset.net_config().with_seed(args.seed());
     let dur = preset.durations();
+    // `--workload SPEC` swaps the hotspot forest for a production-shaped
+    // workload on the same preset fabric and exits.
+    if let Some(wl) = args.workload() {
+        run_workload_cli(&args, &topo, cfg, &wl, dur);
+        return;
+    }
     let p_values = preset.p_values();
     let faults = args.faults();
     eprintln!(

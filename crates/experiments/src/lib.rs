@@ -230,6 +230,85 @@ impl Args {
             ibsim::profile::set_out_dir(self.out_dir());
         }
     }
+
+    /// The shared `--workload SPEC` flag: a production-shaped workload
+    /// (`incast:…`, `eb:…`, `collective:…` or `trace:<path>`) to run on
+    /// the binary's fabric *instead of* its hotspot scenario. See
+    /// `WorkloadSpec::parse` for the grammar.
+    pub fn workload(&self) -> Option<ibsim_traffic::WorkloadSpec> {
+        self.get("workload").map(|s| {
+            ibsim_traffic::WorkloadSpec::parse(s).unwrap_or_else(|e| panic!("--workload: {e}"))
+        })
+    }
+}
+
+/// Run one `--workload` end to end on `topo` and report: an ASCII
+/// summary on stdout plus `workload_<name>.csv` in `--out`. Shared by
+/// the `workloads` bin and the `--workload` escape hatch on the
+/// scenario binaries (`windy`, `table2`).
+pub fn run_workload_cli(
+    args: &Args,
+    topo: &ibsim_topo::Topology,
+    cfg: ibsim_net::NetConfig,
+    spec: &ibsim_traffic::WorkloadSpec,
+    dur: ibsim::RunDurations,
+) -> ibsim::WorkloadResult {
+    let r = ibsim::run_workload(topo, cfg, spec, dur);
+    let mut rows: Vec<Vec<String>> = r
+        .category_rx
+        .iter()
+        .map(|(name, gbps)| vec![name.clone(), f3(*gbps)])
+        .collect();
+    rows.push(vec!["total".into(), f3(r.total_rx)]);
+    println!("workload {} on {} nodes:", r.workload, topo.num_hcas);
+    println!(
+        "{}",
+        ibsim::prelude::ascii_table(&["category", "avg rx (Gbit/s)"], &rows)
+    );
+    println!(
+        "  p50 {:.2} us  p99 {:.2} us  fecn {}  becn {}  max_ccti {}  drained {} ({:.1} us)",
+        r.latency_p50_us,
+        r.latency_p99_us,
+        r.fecn_marks,
+        r.becns,
+        r.max_ccti,
+        r.drained,
+        r.drained_at_us
+    );
+    let out = args.out_dir();
+    std::fs::create_dir_all(&out).expect("create out dir");
+    let csv_rows: Vec<Vec<String>> = r
+        .category_rx
+        .iter()
+        .map(|(name, gbps)| {
+            vec![
+                r.workload.clone(),
+                name.clone(),
+                f3(*gbps),
+                f3(r.total_rx),
+                f3(r.latency_p50_us),
+                f3(r.latency_p99_us),
+                r.drained.to_string(),
+                r.events.to_string(),
+            ]
+        })
+        .collect();
+    ibsim::prelude::write_csv(
+        &out.join(format!("workload_{}.csv", spec.name())),
+        &[
+            "workload",
+            "category",
+            "avg_rx_gbps",
+            "total_rx_gbps",
+            "p50_us",
+            "p99_us",
+            "drained",
+            "events",
+        ],
+        &csv_rows,
+    )
+    .expect("write workload csv");
+    r
 }
 
 /// Format a float with 3 decimals for tables.

@@ -48,6 +48,12 @@ pub struct SimSpec {
     /// Also run the identical scenario with CC disabled and report both.
     #[serde(default)]
     pub compare_cc_off: bool,
+    /// A production-shaped workload to run *instead of* the hotspot
+    /// scenario (`roles` is then ignored). Same shapes as the
+    /// `--workload` flag: incast, event builder, collectives, trace
+    /// replay.
+    #[serde(default)]
+    pub workload: Option<ibsim_traffic::WorkloadSpec>,
 }
 
 fn default_warmup_ms() -> u64 {
@@ -63,8 +69,12 @@ impl SimSpec {
     }
 
     /// Resolve, validate, and run. Returns the CC-configured result and,
-    /// when `compare_cc_off`, the CC-off twin.
+    /// when `compare_cc_off`, the CC-off twin. Specs carrying a
+    /// `workload` belong to [`run_workload`](Self::run_workload).
     pub fn run(&self) -> Result<(ScenarioResult, Option<ScenarioResult>), String> {
+        if self.workload.is_some() {
+            return Err("spec carries a workload; use run_workload()".into());
+        }
         let topo = self.topology.build();
         topo.validate()?;
         let mut roles = self.roles;
@@ -85,6 +95,27 @@ impl SimSpec {
             let mut cfg = self.net.clone();
             cfg.cc = None;
             Some(run_scenario(&topo, cfg, roles, dur, life))
+        } else {
+            None
+        };
+        Ok((main, off))
+    }
+
+    /// Run the spec's production workload (and, when `compare_cc_off`,
+    /// its CC-off twin) on the declared topology.
+    pub fn run_workload(&self) -> Result<(WorkloadResult, Option<WorkloadResult>), String> {
+        let Some(wl) = &self.workload else {
+            return Err("spec has no workload; use run()".into());
+        };
+        let topo = self.topology.build();
+        topo.validate()?;
+        self.net.validate()?;
+        let dur = RunDurations::new_ms(self.warmup_ms, self.measure_ms);
+        let main = run_workload(&topo, self.net.clone(), wl, dur);
+        let off = if self.compare_cc_off {
+            let mut cfg = self.net.clone();
+            cfg.cc = None;
+            Some(run_workload(&topo, cfg, wl, dur))
         } else {
             None
         };

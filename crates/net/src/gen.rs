@@ -25,6 +25,66 @@ pub enum DestPattern {
     /// Cycle through an explicit list (deterministic tests, permutation
     /// workloads).
     Sequence(Vec<NodeId>),
+    /// Replay an explicit schedule of timed, per-message-sized sends —
+    /// the substrate of the workload generators (trace replay,
+    /// event-builder shifts, collective phases). A script class ignores
+    /// the byte budget and the random stream: its timestamps *are* the
+    /// offered load.
+    Script(Script),
+}
+
+/// One timed send of a workload [`Script`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptSend {
+    /// Release time: the message becomes sendable once the clock
+    /// reaches this instant (injection shaping still applies).
+    pub at: Time,
+    pub dst: NodeId,
+    pub bytes: u32,
+}
+
+/// The replay cursor of a [`DestPattern::Script`] class.
+///
+/// `sends[next..]` are the messages not yet started, in release order.
+/// Streaming feeders append in chunks while the simulation runs and
+/// [`close`](TrafficClass::close_script) when the source is exhausted;
+/// `fed` counts every send ever appended, which is exactly the file
+/// cursor a resumed trace replay needs — the whole struct travels in
+/// [`ClassState`] (and through `ibsim-net::state`) so checkpoints taken
+/// mid-shift or mid-phase restore bit-exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Script {
+    pub sends: Vec<ScriptSend>,
+    /// Index of the next unstarted send. The consumed prefix is
+    /// compacted away once the vector drains, so steady-state replay
+    /// reuses one allocation.
+    #[serde(default)]
+    pub next: usize,
+    /// Total sends ever appended (streaming-resume cursor).
+    #[serde(default)]
+    pub fed: u64,
+    /// No further appends will come; the class finishes when drained.
+    #[serde(default)]
+    pub closed: bool,
+}
+
+impl Script {
+    /// The script with the consumed prefix dropped — the canonical form
+    /// checkpoints carry, so two captures of the same logical state are
+    /// byte-identical regardless of compaction timing.
+    fn canonical(&self) -> Script {
+        Script {
+            sends: self.sends[self.next..].to_vec(),
+            next: 0,
+            fed: self.fed,
+            closed: self.closed,
+        }
+    }
+
+    /// Sends not yet started.
+    pub fn remaining(&self) -> usize {
+        self.sends.len() - self.next
+    }
 }
 
 impl DestPattern {
@@ -46,6 +106,9 @@ impl DestPattern {
                 seq.rotate_left(1);
                 d
             }
+            // Scripts carry their own destinations and release times;
+            // `peek` serves them before the budgeted path ever asks.
+            DestPattern::Script(_) => unreachable!("choose() on a script class"),
         }
     }
 }
@@ -114,6 +177,79 @@ impl TrafficClass {
         self
     }
 
+    /// Delay the class's first message: budget accrual starts at `at`
+    /// instead of time zero (incast request staggering). A zero `at` is
+    /// byte-identical to not calling this at all.
+    pub fn with_start(mut self, at: Time) -> Self {
+        self.budget_from = at;
+        self
+    }
+
+    /// An open, empty script class: sends arrive via
+    /// [`append_script`](Self::append_script) and the class finishes
+    /// once it is [closed](Self::close_script) and drained. The percent
+    /// and message size are nominal — a script ignores the byte budget.
+    pub fn script() -> Self {
+        TrafficClass::new(100, DestPattern::Script(Script::default()), 1)
+    }
+
+    /// A closed script class over a fixed schedule (event-builder
+    /// shifts, collective phases). `sends` must be sorted by release
+    /// time and never target the class's own node.
+    pub fn scripted(sends: Vec<ScriptSend>) -> Self {
+        let mut c = Self::script();
+        c.append_script(&sends);
+        c.close_script();
+        c
+    }
+
+    /// Append sends to a script class (streaming trace feeders; safe
+    /// while the simulation runs — nudge the owning HCA afterwards).
+    /// Release times must be monotone across the whole script.
+    pub fn append_script(&mut self, sends: &[ScriptSend]) {
+        let DestPattern::Script(s) = &mut self.dest else {
+            panic!("append_script on a non-script class");
+        };
+        assert!(!s.closed, "append to a closed script");
+        debug_assert!(
+            sends.windows(2).all(|w| w[0].at <= w[1].at),
+            "script sends out of order"
+        );
+        debug_assert!(
+            match (s.sends.last(), sends.first()) {
+                (Some(last), Some(first)) => last.at <= first.at,
+                _ => true,
+            },
+            "script sends released before the already-queued tail"
+        );
+        debug_assert!(sends.iter().all(|sd| sd.bytes > 0), "empty script send");
+        // Steady-state streaming reuses one allocation: once the cursor
+        // drains the vector, drop the consumed prefix before growing.
+        if s.next > 0 && s.next == s.sends.len() {
+            s.sends.clear();
+            s.next = 0;
+        }
+        s.sends.extend_from_slice(sends);
+        s.fed += sends.len() as u64;
+    }
+
+    /// Declare a script complete: no further appends, the class
+    /// finishes when the queued sends drain.
+    pub fn close_script(&mut self) {
+        let DestPattern::Script(s) = &mut self.dest else {
+            panic!("close_script on a non-script class");
+        };
+        s.closed = true;
+    }
+
+    /// The script cursor, when this is a script class.
+    pub fn script_state(&self) -> Option<&Script> {
+        match &self.dest {
+            DestPattern::Script(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Bytes this class was allowed to have sent by `now` at injection
     /// capacity `rate`.
     fn budget_bytes(&self, now: Time, rate: Bandwidth) -> u64 {
@@ -135,12 +271,17 @@ impl TrafficClass {
         Time(self.budget_from.as_ps().saturating_add(ps64))
     }
 
-    /// Has this class exhausted a message cap?
+    /// Has this class exhausted a message cap (or, for a script class,
+    /// drained a closed script)?
     pub fn finished(&self) -> bool {
-        self.committed.is_none()
-            && self
-                .max_messages
-                .is_some_and(|m| self.messages_started >= m)
+        if self.committed.is_some() {
+            return false;
+        }
+        if let DestPattern::Script(s) = &self.dest {
+            return s.closed && s.remaining() == 0;
+        }
+        self.max_messages
+            .is_some_and(|m| self.messages_started >= m)
     }
 
     /// What the class would send next, without consuming it.
@@ -161,6 +302,28 @@ impl TrafficClass {
             return Err(Time::MAX);
         }
         if self.committed.is_none() {
+            if let DestPattern::Script(s) = &mut self.dest {
+                // Scripted sends release at their own timestamps; the
+                // budget and the random stream stay untouched, so a
+                // script class never perturbs its neighbours' draws.
+                let Some(&ScriptSend { at, dst, bytes }) = s.sends.get(s.next) else {
+                    // Drained but not closed: only an append (which
+                    // nudges the injector) can unblock the class.
+                    return Err(Time::MAX);
+                };
+                if now < at {
+                    return Err(at);
+                }
+                debug_assert!(dst != me, "script send targets its own node");
+                s.next += 1;
+                self.committed = Some(Committed {
+                    dst,
+                    bytes_left: bytes,
+                });
+                self.messages_started += 1;
+                let c = self.committed.as_ref().unwrap();
+                return Ok((c.dst, c.bytes_left.min(mtu)));
+            }
             // A new message begins only once the budget covers it beyond
             // what was already sent.
             let need = self.sent_bytes + self.msg_bytes as u64;
@@ -221,7 +384,13 @@ impl TrafficClass {
     /// hotspots and `Sequence` rotates as it serves.
     pub fn state(&self) -> ClassState {
         ClassState {
-            dest: self.dest.clone(),
+            dest: match &self.dest {
+                // Canonical form: drop the consumed prefix so captures
+                // of the same logical state are byte-identical whatever
+                // the compaction timing was.
+                DestPattern::Script(s) => DestPattern::Script(s.canonical()),
+                d => d.clone(),
+            },
             sent_bytes: self.sent_bytes,
             messages_started: self.messages_started,
             committed: self.committed.map(|c| (c.dst, c.bytes_left)),
@@ -395,6 +564,105 @@ mod tests {
         c.retarget(5);
         let (d, _) = c.peek(Time::from_ms(1), 0, 8, R, 2048).unwrap();
         assert_eq!(d, 5);
+    }
+
+    fn send(at_ns: u64, dst: NodeId, bytes: u32) -> ScriptSend {
+        ScriptSend {
+            at: Time::from_ns(at_ns),
+            dst,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn script_releases_at_timestamps() {
+        let mut c = TrafficClass::scripted(vec![send(100, 1, 2048), send(500, 2, 4096)]);
+        // Before the first release: woken exactly at it.
+        assert_eq!(c.peek(Time::from_ns(10), 0, 8, R, 2048), Err(Time::from_ns(100)));
+        let (d, b) = c.peek(Time::from_ns(100), 0, 8, R, 2048).unwrap();
+        assert_eq!((d, b), (1, 2048));
+        c.take(b);
+        // Second message: 4096 bytes fragment to two MTU packets.
+        assert_eq!(c.peek(Time::from_ns(200), 0, 8, R, 2048), Err(Time::from_ns(500)));
+        let (d, b) = c.peek(Time::from_ns(500), 0, 8, R, 2048).unwrap();
+        assert_eq!((d, b), (2, 2048));
+        c.take(b);
+        assert!(c.mid_message());
+        let (d, b) = c.peek(Time::from_ns(500), 0, 8, R, 2048).unwrap();
+        assert_eq!((d, b), (2, 2048));
+        c.take(b);
+        assert!(c.finished());
+        assert_eq!(c.peek(Time::from_ms(1), 0, 8, R, 2048), Err(Time::MAX));
+        assert_eq!(c.messages_started(), 2);
+        assert_eq!(c.sent_bytes(), 2048 + 4096);
+    }
+
+    #[test]
+    fn open_script_waits_for_appends() {
+        let mut c = TrafficClass::script();
+        // Empty and open: parked until an append nudges the injector.
+        assert_eq!(c.peek(Time::from_ns(1), 0, 8, R, 2048), Err(Time::MAX));
+        assert!(!c.finished(), "open script is not finished");
+        c.append_script(&[send(0, 3, 1024)]);
+        let (d, b) = c.peek(Time::from_ns(1), 0, 8, R, 2048).unwrap();
+        assert_eq!((d, b), (3, 1024));
+        c.take(b);
+        c.close_script();
+        assert!(c.finished());
+        assert_eq!(c.script_state().unwrap().fed, 1);
+    }
+
+    #[test]
+    fn script_compacts_but_keeps_fed_cursor() {
+        let mut c = TrafficClass::script();
+        c.append_script(&[send(0, 1, 512), send(0, 2, 512)]);
+        for _ in 0..2 {
+            let (_, b) = c.peek(Time::ZERO, 0, 8, R, 2048).unwrap();
+            c.take(b);
+        }
+        c.append_script(&[send(10, 3, 512)]);
+        let s = c.script_state().unwrap();
+        assert_eq!(s.fed, 3, "fed counts every send ever appended");
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.next, 0, "consumed prefix compacted on append");
+    }
+
+    #[test]
+    fn script_state_roundtrip_is_canonical() {
+        let mut c = TrafficClass::scripted(vec![send(0, 1, 512), send(10, 2, 512)]);
+        let (_, b) = c.peek(Time::ZERO, 0, 8, R, 2048).unwrap();
+        c.take(b);
+        let st = c.state();
+        // The capture drops the consumed prefix.
+        let DestPattern::Script(s) = &st.dest else {
+            panic!("script dest expected")
+        };
+        assert_eq!(s.next, 0);
+        assert_eq!(s.sends, vec![send(10, 2, 512)]);
+        assert_eq!(s.fed, 2);
+        assert!(s.closed);
+        // Restoring onto a freshly configured class resumes mid-script.
+        let mut fresh = TrafficClass::scripted(vec![send(0, 1, 512), send(10, 2, 512)]);
+        fresh.restore_state(&st);
+        assert_eq!(fresh.messages_started(), 1);
+        let (d, _) = fresh.peek(Time::from_ns(10), 0, 8, R, 2048).unwrap();
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn staggered_start_delays_first_message() {
+        let mut c = TrafficClass::new(100, DestPattern::Fixed(1), 2048).with_start(Time::from_us(5));
+        let err = c.peek(Time::from_ns(100), 0, 4, R, 2048).unwrap_err();
+        // Budget accrues from the stagger point: first message once
+        // 2048 bytes fit, i.e. 2048 ns past the 5 µs start.
+        assert_eq!(err, Time::from_us(5) + ibsim_engine::time::TimeDelta::from_ns(2048));
+    }
+
+    #[test]
+    #[should_panic(expected = "append to a closed script")]
+    fn append_after_close_panics() {
+        let mut c = TrafficClass::scripted(vec![send(0, 1, 512)]);
+        c.append_script(&[send(1, 2, 512)]);
     }
 
     #[test]

@@ -558,6 +558,31 @@ mod tests {
     }
 
     #[test]
+    fn script_class_releases_through_injector() {
+        use crate::gen::ScriptSend;
+        let (mut h, cfg) = hca();
+        let mut c = TrafficClass::scripted(vec![ScriptSend {
+            at: Time::from_us(5),
+            dst: 9,
+            bytes: 1024,
+        }]);
+        c.set_rng(Rng::derive(1, 0));
+        h.classes.push(c);
+        // Parked until the scripted release time — no budget involved.
+        match h.next_packet(Time::ZERO, 16, &cfg, true) {
+            NextSend::WaitUntil(t) => assert_eq!(t, Time::from_us(5)),
+            other => panic!("expected wait, got {other:?}"),
+        }
+        match h.next_packet(Time::from_us(5), 16, &cfg, true) {
+            NextSend::Packet(p) => {
+                assert_eq!((p.dst, p.bytes), (9, 1024));
+            }
+            other => panic!("expected packet, got {other:?}"),
+        }
+        assert!(h.classes[0].finished());
+    }
+
+    #[test]
     fn budget_wakeup_before_first_message() {
         let (mut h, cfg) = hca();
         add_class(&mut h, 100, DestPattern::Fixed(7));

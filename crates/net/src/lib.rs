@@ -42,7 +42,7 @@ pub use ibsim_faults::{
 };
 pub use config::NetConfig;
 pub use diag::NetworkSnapshot;
-pub use gen::{ClassState, DestPattern, TrafficClass, PAPER_MSG_BYTES};
+pub use gen::{ClassState, DestPattern, Script, ScriptSend, TrafficClass, PAPER_MSG_BYTES};
 pub use hca::{Hca, HcaState};
 pub use network::{Dev, Event, Network};
 pub use pool::{PacketPool, PktHandle};

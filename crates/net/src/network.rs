@@ -308,6 +308,31 @@ impl Network {
         self.nudge_hca(node);
     }
 
+    /// Append timed sends to a script class (streaming workload
+    /// feeders); safe while running. Like retargeting, the append
+    /// happens between `run_until` segments, so it lands identically
+    /// whether the engine is serial or sharded.
+    pub fn append_script(&mut self, node: NodeId, class: usize, sends: &[crate::gen::ScriptSend]) {
+        self.hcas[node as usize].classes[class].append_script(sends);
+        // A drained-but-open script parks with an unreachable wakeup.
+        self.nudge_hca(node);
+    }
+
+    /// Close a script class: no further appends; the class finishes
+    /// when its queued sends drain. Closing creates no new work, so no
+    /// injector nudge (and no event) is needed.
+    pub fn close_script(&mut self, node: NodeId, class: usize) {
+        self.hcas[node as usize].classes[class].close_script();
+    }
+
+    /// Total sends ever appended to a script class — the streaming
+    /// feeder's resume cursor after a checkpoint restore.
+    pub fn script_fed(&self, node: NodeId, class: usize) -> u64 {
+        self.hcas[node as usize].classes[class]
+            .script_state()
+            .map_or(0, |s| s.fed)
+    }
+
     /// Turn the invariant oracle on, auditing every `every` processed
     /// events (plus whenever [`Network::audit_now`] is called). Must be
     /// enabled before the first event is dispatched — the conservation

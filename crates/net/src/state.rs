@@ -19,6 +19,14 @@
 //! The event queue is captured with its original `(time, seq)` keys —
 //! tie order among simultaneous events is part of the determinism
 //! contract and must survive the round trip.
+//!
+//! Workload-generator cursors ride along inside each HCA's
+//! [`ClassState`](crate::gen::ClassState): a [`DestPattern::Script`]
+//! (crate::gen::DestPattern::Script) carries its unstarted sends, its
+//! `fed` streaming cursor and its `closed` flag in canonical form, so
+//! a checkpoint taken mid-shift or mid-collective-phase restores the
+//! generator bit-exactly and a resumed trace replay knows how many
+//! records the captured run had already consumed.
 
 use crate::audit::NetAuditState;
 use crate::hca::HcaState;

@@ -9,9 +9,18 @@
 //! hotspots mid-run, and computes per-category receive-rate summaries
 //! (hotspots / non-hotspots / all) plus the theoretical `tmax` bound of
 //! the figures.
+//!
+//! Beyond the paper's hotspot forests, [`workloads`] carries the
+//! production-shaped generators — trace replay ([`flowtrace`]), LHCb
+//! event-builder shifts, MPI collectives, and N:1 incast — all built on
+//! the same deterministic `TrafficClass` substrate.
 
+pub mod flowtrace;
 pub mod roles;
 pub mod scenario;
+pub mod workloads;
 
+pub use flowtrace::{FlowRec, TraceError, TraceGenSpec, TracePattern, TraceReader, TraceWriter};
 pub use roles::{NodeRole, RoleAssignment, RoleSpec};
 pub use scenario::Scenario;
+pub use workloads::{CollectiveAlgo, TraceFeeder, Workload, WorkloadKind, WorkloadSpec};

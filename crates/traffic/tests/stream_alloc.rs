@@ -1,0 +1,101 @@
+//! The streaming claim of the trace-replay workload, pinned with a
+//! counting global allocator: a **million-flow** trace decodes end to
+//! end without a single heap allocation past `open`. The reader holds
+//! one `BufReader` block and a few counters — nothing proportional to
+//! the trace — which is what lets replay runs stream traces far larger
+//! than memory.
+//!
+//! This file deliberately contains exactly one test: the counter is
+//! process-global, and a sibling test allocating on another thread
+//! inside the measured window would produce a spurious count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ibsim_traffic::flowtrace::{self, TraceGenSpec, TracePattern, TraceReader};
+
+/// Pass-through allocator that counts allocations while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const FLOWS: u64 = 1_000_000;
+
+#[test]
+fn million_flow_trace_streams_without_allocating() {
+    // A fat648-scale trace: one million flows, hotspot-skewed like a
+    // real replay input. ~7 bytes a record on disk.
+    let spec = TraceGenSpec {
+        nodes: 648,
+        flows: FLOWS,
+        bytes: 4096,
+        mean_gap_ns: 50,
+        pattern: TracePattern::Hotspot {
+            hotspots: 8,
+            pct: 20,
+        },
+        seed: 0x517EA,
+    };
+    let path = std::env::temp_dir().join("ibsim_stream_alloc_1m.ibtr");
+    flowtrace::synthesize_to(&spec, &path).expect("synthesize 1M flows");
+    let on_disk = std::fs::metadata(&path).expect("trace file").len();
+    assert!(
+        (on_disk as f64) / (FLOWS as f64) < 10.0,
+        "{on_disk} bytes for {FLOWS} records — the delta coding regressed"
+    );
+
+    // `open` buys the BufReader block; after that, decoding must be
+    // allocation-free no matter how many records stream through.
+    let mut reader = TraceReader::open(&path).expect("open trace");
+    assert_eq!(reader.records(), FLOWS);
+
+    let mut decoded = 0u64;
+    let mut total_bytes = 0u64;
+    ARMED.store(true, Ordering::SeqCst);
+    while let Some(rec) = reader.next_record().expect("well-formed record") {
+        decoded += 1;
+        total_bytes += rec.bytes as u64;
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(decoded, FLOWS);
+    assert_eq!(total_bytes, FLOWS * 4096);
+    assert_eq!(
+        allocs, 0,
+        "streaming decode allocated {allocs} times across {decoded} records \
+         — the reader is supposed to hold one buffer, not the trace"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -140,6 +140,17 @@ pub fn run_label(
     )
 }
 
+/// The checkpoint label of a production-workload run: the canonical
+/// `--workload` string (sanitized for file names) plus the durations.
+pub fn workload_label(spec: &ibsim_traffic::WorkloadSpec, dur: &RunDurations) -> String {
+    let s: String = spec
+        .to_string()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    format!("wl-{}_w{}m{}", s, dur.warmup.as_ps(), dur.measure.as_ps())
+}
+
 /// Deterministic checkpoint file name for one run. The backend tag is
 /// only spliced in for non-default backends, so every ibcc checkpoint
 /// keeps its pre-backend-refactor name.

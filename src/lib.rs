@@ -56,6 +56,7 @@ pub mod shards;
 pub mod sweep;
 pub mod telemetry;
 pub mod trace;
+pub mod workload;
 
 pub use bisect::{bisect_divergence, perturb_cc, Divergence};
 pub use drill::{run_drill, run_drill_floor, DrillReport};
@@ -67,6 +68,7 @@ pub use experiment::{
 pub use preset::Preset;
 pub use replicas::{run_scenario_replicated, Estimate, ReplicatedResult};
 pub use sweep::{parallel_map, parallel_map_progress};
+pub use workload::{run_workload, WorkloadResult};
 
 /// One-stop imports for examples and binaries.
 pub mod prelude {
@@ -80,11 +82,15 @@ pub mod prelude {
     pub use crate::replicas::{run_scenario_replicated, Estimate, ReplicatedResult};
     pub use crate::report::{ascii_plot, ascii_table, write_csv, write_json, PlotSeries};
     pub use crate::sweep::{parallel_map, parallel_map_progress};
+    pub use crate::workload::{run_workload, WorkloadResult};
     pub use ibsim_cc::{CcMode, CcParams, Cct, CctShape};
     pub use ibsim_engine::time::{Bandwidth, Time, TimeDelta};
     pub use ibsim_net::{
         parse_spec, DestPattern, FaultSchedule, NetConfig, Network, TrafficClass, PAPER_MSG_BYTES,
     };
     pub use ibsim_topo::{single_switch, FatTree3Spec, FatTreeSpec, Topology, TorusSpec};
-    pub use ibsim_traffic::{NodeRole, RoleAssignment, RoleSpec, Scenario};
+    pub use ibsim_traffic::{
+        CollectiveAlgo, NodeRole, RoleAssignment, RoleSpec, Scenario, TraceGenSpec, TracePattern,
+        TraceReader, TraceWriter, WorkloadKind, WorkloadSpec,
+    };
 }

@@ -695,3 +695,176 @@ fn _digest_shape(d: TopoDigest) -> (u64, bool) {
 }
 #[allow(unused)]
 const _MAGIC: &str = MAGIC;
+
+// ---------------------------------------------------------------------
+// Production-workload round trips: generator cursors in ClassState.
+// ---------------------------------------------------------------------
+
+/// Mirror of `ibsim::workload::SEGMENT` for the trace-feeding cadence.
+const WL_SEG: u64 = 100 * ibsim_engine::time::PS_PER_US;
+
+/// Build a fabric with a workload installed, exactly as the runner does.
+fn workload_net(spec: &str, seed: u64) -> (Network, ibsim_traffic::Workload) {
+    let topo = FatTreeSpec::TEST_8.build();
+    let mut net = Network::new(&topo, NetConfig::paper().with_seed(seed));
+    let spec = ibsim_traffic::WorkloadSpec::parse(spec).expect("valid workload spec");
+    let wl = spec.install(&mut net).expect("workload install");
+    (net, wl)
+}
+
+/// A scripted workload (event builder, collective) checkpoints and
+/// resumes from any instant by restore alone: the script cursor rides
+/// in `ClassState`, so the interrupted run rejoins the uninterrupted
+/// one byte for byte.
+fn assert_scripted_workload_roundtrip(spec: &str, ck_at: Time, horizon: Time) {
+    let (mut straight, _) = workload_net(spec, 0x1B51_C0DE);
+    straight.run_until(ck_at);
+    let saved = straight.checkpoint();
+    straight.run_until(horizon);
+    let want = straight.checkpoint();
+
+    let (mut resumed, _) = workload_net(spec, 0x1B51_C0DE);
+    resumed.restore(&saved).expect("restore workload fabric");
+    resumed.run_until(horizon);
+    let got = resumed.checkpoint();
+    if want != got {
+        let diffs = diff_values(&want.to_value(), &got.to_value(), 10);
+        panic!(
+            "workload {spec:?} resumed from {ck_at:?} diverged:\n{}",
+            ibsim_state::render_diff(&diffs)
+        );
+    }
+}
+
+/// Mid-shift: 150 µs is inside shift 3 of an event builder on 40 µs
+/// slots — some fragments of the shift in flight, some not yet
+/// released.
+#[test]
+fn workload_roundtrip_mid_event_builder_shift() {
+    assert_scripted_workload_roundtrip(
+        "eb:frag=4096,fanin=5,shifts=8,slot_us=40",
+        Time::from_us(150),
+        Time::from_us(600),
+    );
+}
+
+/// Mid-phase: 45 µs is inside phase 1 of a recursive-doubling
+/// all-reduce on 30 µs slots — partners mid-exchange.
+#[test]
+fn workload_roundtrip_mid_collective_phase() {
+    assert_scripted_workload_roundtrip(
+        "collective:algo=rd,bytes=16384,rounds=2,slot_us=30",
+        Time::from_us(45),
+        Time::from_us(500),
+    );
+    assert_scripted_workload_roundtrip(
+        "collective:algo=ring,bytes=65536,rounds=1,slot_us=30",
+        Time::from_us(45),
+        Time::from_us(500),
+    );
+}
+
+/// Run `net` through the fixed segment grid from boundary `from` to
+/// `horizon`, feeding the trace one segment ahead; optionally split one
+/// segment at `ck_at` and return the checkpoint taken there.
+fn run_trace_segments(
+    net: &mut Network,
+    feeder: &mut ibsim_traffic::TraceFeeder,
+    from: u64,
+    horizon: u64,
+    ck_at: Option<u64>,
+) -> Option<NetworkState> {
+    let mut saved = None;
+    let mut s = from;
+    while s < horizon {
+        let next = (s + WL_SEG).min(horizon);
+        feeder.feed_until(net, Time(next + WL_SEG)).expect("feed");
+        if let Some(at) = ck_at {
+            if s < at && at <= next && saved.is_none() {
+                net.run_until(Time(at));
+                saved = Some(net.checkpoint());
+            }
+        }
+        net.run_until(Time(next));
+        s = next;
+    }
+    saved
+}
+
+/// Mid-stream trace replay resumes exactly: the restored scripts carry
+/// `fed` cursors, `skip_fed` fast-forwards a fresh reader past the
+/// records the checkpoint already absorbed, and the re-entered segment
+/// grid feeds the remainder on the same cadence — so the resumed run
+/// rejoins the uninterrupted one byte for byte.
+#[test]
+fn workload_roundtrip_mid_trace_stream() {
+    let topo = FatTreeSpec::TEST_8.build();
+    let gen = ibsim_traffic::TraceGenSpec {
+        nodes: topo.num_hcas as u32,
+        flows: 20_000,
+        bytes: 2048,
+        mean_gap_ns: 100,
+        pattern: ibsim_traffic::TracePattern::Uniform,
+        seed: 0xC4A1,
+    };
+    let path = std::env::temp_dir().join("ibsim_ckpt_trace_roundtrip.ibtr");
+    ibsim_traffic::flowtrace::synthesize_to(&gen, &path).unwrap();
+    let spec = ibsim_traffic::WorkloadSpec::parse(&format!("trace:{}", path.display())).unwrap();
+
+    let ck_at = 250 * ibsim_engine::time::PS_PER_US;
+    let horizon = 600 * ibsim_engine::time::PS_PER_US;
+
+    let mk = || {
+        let mut net = Network::new(&topo, NetConfig::paper().with_seed(3));
+        let wl = spec.install(&mut net).expect("install trace workload");
+        (net, wl.feeder.expect("trace workload has a feeder"))
+    };
+
+    let (mut straight, mut feed_a) = mk();
+    let saved = run_trace_segments(&mut straight, &mut feed_a, 0, horizon, Some(ck_at))
+        .expect("checkpoint instant inside the run");
+    let want = straight.checkpoint();
+
+    let (mut resumed, mut feed_b) = mk();
+    resumed.restore(&saved).expect("restore trace fabric");
+    let fed: u64 = (0..feed_b.nodes())
+        .map(|v| resumed.script_fed(v, 0))
+        .sum();
+    assert!(fed > 0, "250us into the stream, records must have been fed");
+    feed_b.skip_fed(fed).expect("re-read to the resume cursor");
+    // Re-enter at the boundary the capture segment started on; the
+    // replayed boundary feed is a no-op thanks to `skip_fed`.
+    let reenter = ck_at / WL_SEG * WL_SEG;
+    run_trace_segments(&mut resumed, &mut feed_b, reenter, horizon, None);
+    let got = resumed.checkpoint();
+    if want != got {
+        let diffs = diff_values(&want.to_value(), &got.to_value(), 10);
+        panic!(
+            "trace replay resumed mid-stream diverged:\n{}",
+            ibsim_state::render_diff(&diffs)
+        );
+    }
+}
+
+/// Committed workload golden: an event builder caught mid-shift, script
+/// cursors and all. Pins the `ClassState` script fields in the on-disk
+/// schema — any drift in how scripts checkpoint fails here naming the
+/// field (re-bless with `IBSIM_BLESS=1 cargo test`).
+#[test]
+fn golden_workload_checkpoint_is_stable() {
+    let spec = "eb:frag=4096,fanin=5,shifts=8,slot_us=40";
+    let (mut net, _) = workload_net(spec, 0x1B51_C0DE);
+    net.run_until(Time::from_us(150));
+    let header = CheckpointHeader::new(
+        net.now().as_ps(),
+        net.events_processed(),
+        ibsim::checkpoint::digest(&net),
+    );
+    let (restore_into, _) = workload_net(spec, 0x1B51_C0DE);
+    assert_matches_golden(
+        "wl_eb_test8.ckpt.json",
+        &header,
+        &net.checkpoint(),
+        restore_into,
+    );
+}
